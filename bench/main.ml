@@ -1,0 +1,158 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Bechamel micro-benchmarks of the performance-critical kernels
+      (identifier arithmetic, routing state operations, the next-hop
+      function, the event queue) — one [Test.make] per kernel.
+   2. Regeneration of every table and figure in the paper's evaluation
+      (§5) at [Quick] scale, via the shared experiment runners. Pass
+      an experiment name (fig3..fig8, topology, ablation, selftuning,
+      suppression, structure, all) to run a subset, and --size to scale
+      up; `bench/main.exe micro` runs only the micro-benchmarks. *)
+
+module E = Repro_experiments.Experiments
+open Bechamel
+open Toolkit
+
+let rng = Repro_util.Rng.create 99
+
+let ids = Array.init 1024 (fun _ -> Pastry.Nodeid.random rng)
+
+let bench_nodeid_ops =
+  Test.make ~name:"nodeid: prefix+digit (b=4)"
+    (Staged.stage (fun () ->
+         let a = ids.(Repro_util.Rng.int rng 1024)
+         and b = ids.(Repro_util.Rng.int rng 1024) in
+         let r = Pastry.Nodeid.shared_prefix_length ~b:4 a b in
+         ignore (Pastry.Nodeid.digit ~b:4 a (min r 31))))
+
+let bench_ring_dist =
+  Test.make ~name:"nodeid: ring distance"
+    (Staged.stage (fun () ->
+         let a = ids.(Repro_util.Rng.int rng 1024)
+         and b = ids.(Repro_util.Rng.int rng 1024) in
+         ignore (Pastry.Nodeid.ring_dist a b)))
+
+let make_routing_state () =
+  let me = Pastry.Peer.make ids.(0) 0 in
+  let leafset = Pastry.Leafset.create ~l:32 ~me in
+  let table = Pastry.Routing_table.create ~b:4 ~me:me.Pastry.Peer.id in
+  for k = 1 to 512 do
+    let p = Pastry.Peer.make ids.(k) k in
+    ignore (Pastry.Leafset.add leafset p);
+    ignore (Pastry.Routing_table.consider table p ~rtt:(Repro_util.Rng.float rng 0.2))
+  done;
+  (leafset, table)
+
+let leafset_bench, table_bench = make_routing_state ()
+
+let bench_next_hop =
+  Test.make ~name:"route: next_hop over 512-node state"
+    (Staged.stage (fun () ->
+         let key = ids.(Repro_util.Rng.int rng 1024) in
+         ignore (Pastry.Route.next_hop ~leafset:leafset_bench ~table:table_bench ~key ())))
+
+let bench_leafset_add =
+  Test.make ~name:"leafset: 64 adds"
+    (Staged.stage (fun () ->
+         let me = Pastry.Peer.make ids.(0) 0 in
+         let ls = Pastry.Leafset.create ~l:32 ~me in
+         for k = 1 to 64 do
+           ignore (Pastry.Leafset.add ls (Pastry.Peer.make ids.(k) k))
+         done))
+
+let bench_event_queue =
+  Test.make ~name:"simkit: 1k schedule+drain"
+    (Staged.stage (fun () ->
+         let e = Simkit.Engine.create () in
+         for k = 1 to 1000 do
+           ignore
+             (Simkit.Engine.schedule e
+                ~delay:(float_of_int (k * 7919 mod 997) /. 100.0)
+                (fun () -> ()))
+         done;
+         Simkit.Engine.run_all e))
+
+let bench_oracle =
+  let o = Harness.Oracle.create () in
+  Array.iteri (fun i id -> Harness.Oracle.add o id i) ids;
+  Test.make ~name:"oracle: closest over 1k nodes"
+    (Staged.stage (fun () ->
+         ignore (Harness.Oracle.closest o ids.(Repro_util.Rng.int rng 1024))))
+
+let bench_tuning_solver =
+  Test.make ~name:"tuning: solve_trt bisection"
+    (Staged.stage (fun () ->
+         ignore (Mspastry.Tuning.solve_trt Mspastry.Config.default ~n:10_000.0 ~mu:1e-4)))
+
+let run_micro () =
+  let tests =
+    [
+      bench_nodeid_ops;
+      bench_ring_dist;
+      bench_next_hop;
+      bench_leafset_add;
+      bench_event_queue;
+      bench_oracle;
+      bench_tuning_solver;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  print_endline "=== Micro-benchmarks (Bechamel) ===";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name wks ->
+          let ols =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Instance.monotonic_clock wks
+          in
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "%-40s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let size =
+    let rec find = function
+      | "--size" :: v :: _ -> (
+          match E.size_of_string v with Some s -> s | None -> E.Quick)
+      | _ :: rest -> find rest
+      | [] -> E.Quick
+    in
+    find args
+  in
+  let names =
+    List.filter
+      (fun a -> (not (String.length a > 1 && a.[0] = '-')) && E.size_of_string a = None)
+      args
+  in
+  let seed = 42 in
+  let run_one = function
+    | "micro" -> run_micro ()
+    | "fig3" -> E.fig3 ~size ~seed ()
+    | "fig4" -> E.fig4 ~size ~seed ()
+    | "fig5" -> E.fig5 ~size ~seed ()
+    | "fig6" -> E.fig6 ~size ~seed ()
+    | "fig7" -> E.fig7 ~size ~seed ()
+    | "fig8" -> E.fig8 ~size ~seed ()
+    | "topology" -> E.topology_table ~size ~seed ()
+    | "ablation" -> E.ablation ~size ~seed ()
+    | "selftuning" -> E.selftuning ~size ~seed ()
+    | "suppression" -> E.suppression ~size ~seed ()
+    | "structure" -> E.structure_ablation ~size ~seed ()
+    | "apps" -> E.apps ~size ~seed ()
+    | "consistency" -> E.consistency ~size ~seed ()
+    | "all" -> E.all ~size ~seed ()
+    | other -> Printf.eprintf "unknown bench target %S\n" other
+  in
+  match names with
+  | [] ->
+      run_micro ();
+      E.all ~size ~seed ()
+  | names -> List.iter run_one names

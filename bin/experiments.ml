@@ -1,0 +1,60 @@
+(* CLI for regenerating the paper's tables and figures.
+
+   Usage: experiments [EXPERIMENT] [--size quick|medium|full] [--seed N]
+   where EXPERIMENT is one of fig3 fig4 fig5 fig6 fig7 fig8 topology
+   ablation selftuning suppression structure all. *)
+
+open Cmdliner
+module E = Repro_experiments.Experiments
+
+let runners =
+  [
+    ("fig3", E.fig3);
+    ("fig4", E.fig4);
+    ("fig5", E.fig5);
+    ("fig6", E.fig6);
+    ("fig7", E.fig7);
+    ("fig8", E.fig8);
+    ("topology", E.topology_table);
+    ("ablation", E.ablation);
+    ("selftuning", E.selftuning);
+    ("suppression", E.suppression);
+    ("structure", E.structure_ablation);
+    ("apps", E.apps);
+    ("consistency", E.consistency);
+    ("all", E.all);
+  ]
+
+let experiment =
+  let doc = "Experiment to run: " ^ String.concat ", " (List.map fst runners) in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let size =
+  let parse s =
+    match E.size_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown size %S (quick|medium|full)" s))
+  in
+  let size_conv = Arg.conv (parse, E.pp_size) in
+  Arg.(
+    value & opt size_conv E.Quick & info [ "size" ] ~docv:"SIZE" ~doc:"quick, medium or full")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"master RNG seed")
+
+let run name size seed =
+  match List.assoc_opt name runners with
+  | Some f ->
+      f ~size ~seed ();
+      `Ok ()
+  | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown experiment %S; try one of: %s" name
+            (String.concat ", " (List.map fst runners)) )
+
+let cmd =
+  let doc = "Regenerate the MSPastry paper's tables and figures" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(ret (const run $ experiment $ size $ seed))
+
+let () = exit (Cmd.eval cmd)

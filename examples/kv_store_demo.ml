@@ -1,0 +1,75 @@
+(* PAST-style replicated storage: durability through churn.
+
+     dune exec examples/kv_store_demo.exe
+
+   A hundred objects are inserted with 3-way replication into a 30-node
+   overlay, then a third of the nodes crash over five minutes while the
+   re-replication sweep and lazy root recovery keep the objects alive.
+   Every object is still retrievable afterwards. *)
+
+module Sim = Harness.Sim
+module Live = Sim.Live
+module Past = Past_store.Past
+module Rng = Repro_util.Rng
+
+let () =
+  let config =
+    {
+      Sim.default_config with
+      topology = Sim.Gatech;
+      lookup_rate = 0.0;
+      warmup = 0.0;
+      seed = 23;
+    }
+  in
+  let live = Live.create config ~n_endpoints:64 in
+  for i = 0 to 29 do
+    Live.spawn_at live ~time:(float_of_int i *. 4.0) ()
+  done;
+  Live.run_until live 240.0;
+  let store = Past.create ~replicas:3 ~refresh_period:60.0 ~live () in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Printf.printf "overlay: %d nodes; inserting 100 objects (3 replicas each)\n%!"
+    (Array.length nodes);
+
+  let rng = Rng.create 9 in
+  for i = 0 to 99 do
+    Past.put store
+      ~client:nodes.(Rng.int rng (Array.length nodes))
+      ~key:(Printf.sprintf "doc-%03d" i)
+      ~value:(Printf.sprintf "contents of document %d" i)
+  done;
+  Live.run_until live 260.0;
+  let s = Past.stats store in
+  Printf.printf "stored: %d objects acknowledged, %d replicas resident\n%!"
+    s.Past.put_acks s.Past.stored_objects;
+
+  (* kill 10 of the 30 nodes, two per minute *)
+  for k = 0 to 9 do
+    ignore
+      (Simkit.Engine.schedule_at (Live.engine live)
+         ~time:(300.0 +. (float_of_int k *. 30.0))
+         (fun () ->
+           let alive = Array.of_list (Live.active_nodes live) in
+           if Array.length alive > 5 then
+             Live.crash_node live alive.(Rng.int rng (Array.length alive))))
+  done;
+  Live.run_until live 700.0;
+  Printf.printf "after churn: %d nodes left, %d replicas resident\n%!"
+    (List.length (Live.active_nodes live))
+    (Past.stats store).Past.stored_objects;
+
+  (* read everything back *)
+  let survivors = Array.of_list (Live.active_nodes live) in
+  for i = 0 to 99 do
+    Past.get store
+      ~client:survivors.(Rng.int rng (Array.length survivors))
+      ~key:(Printf.sprintf "doc-%03d" i)
+  done;
+  Live.run_until live 760.0;
+  let s = Past.stats store in
+  Printf.printf "retrieval after losing a third of the overlay:\n";
+  Printf.printf "  hits      %d / 100\n" s.Past.get_hits;
+  Printf.printf "  misses    %d\n" s.Past.get_misses;
+  Printf.printf "  timeouts  %d\n" s.Past.get_timeouts;
+  Printf.printf "  lazy root recoveries: %d\n" s.Past.repair_pulls

@@ -1,0 +1,64 @@
+(* Quickstart: build a 50-node MSPastry overlay inside the packet-level
+   simulator, route some lookups, and inspect the routing state.
+
+     dune exec examples/quickstart.exe
+
+   The public API in play:
+   - [Harness.Sim.Live] wires the simulator, topology and metrics;
+   - [Live.spawn_at] creates overlay nodes (the first bootstraps, the
+     rest join through a random live node);
+   - [Live.lookup] routes an application message to a key;
+   - [Mspastry.Node] exposes each node's leaf set and routing table. *)
+
+module Sim = Harness.Sim
+module Live = Sim.Live
+module Node = Mspastry.Node
+module Nodeid = Pastry.Nodeid
+
+let () =
+  (* a scaled GATech-style transit-stub network, no link loss *)
+  let config =
+    { Sim.default_config with topology = Sim.Gatech; lookup_rate = 0.0; warmup = 0.0 }
+  in
+  let live = Live.create config ~n_endpoints:64 in
+
+  (* 50 nodes join over ~4 simulated minutes *)
+  for i = 0 to 49 do
+    Live.spawn_at live ~time:(float_of_int i *. 5.0) ()
+  done;
+  Live.run_until live 400.0;
+  Printf.printf "overlay formed: %d active nodes (%d join failures)\n"
+    (Live.node_count live) (Live.join_failures live);
+
+  (* route 100 lookups to random keys from random nodes *)
+  let nodes = Array.of_list (Live.active_nodes live) in
+  let rng = Repro_util.Rng.create 2024 in
+  for _ = 1 to 100 do
+    let src = nodes.(Repro_util.Rng.int rng (Array.length nodes)) in
+    ignore (Live.lookup live src ~key:(Nodeid.random rng))
+  done;
+  Live.run_until live 430.0;
+
+  let s =
+    Overlay_metrics.Collector.summary ~until:430.0 ~drain:0.0 (Live.collector live)
+  in
+  Printf.printf "lookups: %d sent, %d delivered, %d lost, %d misrouted\n"
+    s.Overlay_metrics.Collector.lookups_sent s.Overlay_metrics.Collector.lookups_delivered
+    s.Overlay_metrics.Collector.lookups_lost
+    s.Overlay_metrics.Collector.incorrect_deliveries;
+  Printf.printf "mean route: %.2f overlay hops, relative delay penalty %.2f\n"
+    s.Overlay_metrics.Collector.hops_mean s.Overlay_metrics.Collector.rdp_mean;
+
+  (* peek inside one node *)
+  let node = nodes.(0) in
+  let me = Node.me node in
+  Printf.printf "\nnode %s (address %d):\n" (Nodeid.short me.Pastry.Peer.id)
+    me.Pastry.Peer.addr;
+  Printf.printf "  leaf set: %d members (complete: %b)\n"
+    (Pastry.Leafset.size (Node.leafset node))
+    (Pastry.Leafset.complete (Node.leafset node));
+  Printf.printf "  routing table: %d entries across %d rows\n"
+    (Pastry.Routing_table.count (Node.table node))
+    (Pastry.Routing_table.rows (Node.table node));
+  Printf.printf "  estimated overlay size: %.0f nodes (true: %d)\n"
+    (Node.estimated_n node) (Live.node_count live)

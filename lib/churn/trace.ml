@@ -1,0 +1,275 @@
+module Rng = Repro_util.Rng
+
+type kind = Join | Leave
+
+type event = { time : float; node : int; kind : kind }
+
+type t = { name : string; events : event array; duration : float; n_nodes : int }
+
+let name t = t.name
+let events t = t.events
+let duration t = t.duration
+let n_nodes t = t.n_nodes
+
+let sort_events evs =
+  let a = Array.of_list evs in
+  Array.sort
+    (fun e1 e2 ->
+      let c = compare e1.time e2.time in
+      if c <> 0 then c
+      else begin
+        (* leaves before joins at equal times keeps population bounded *)
+        let rank = function Leave -> 0 | Join -> 1 in
+        let c = compare (rank e1.kind) (rank e2.kind) in
+        if c <> 0 then c else compare e1.node e2.node
+      end)
+    a;
+  a
+
+let max_concurrent t =
+  let cur = ref 0 and best = ref 0 in
+  Array.iter
+    (fun e ->
+      (match e.kind with Join -> incr cur | Leave -> decr cur);
+      if !cur > !best then best := !cur)
+    t.events;
+  !best
+
+let mean_session t =
+  let join_time = Hashtbl.create 256 in
+  let acc = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun e ->
+      match e.kind with
+      | Join -> Hashtbl.replace join_time e.node e.time
+      | Leave -> (
+          match Hashtbl.find_opt join_time e.node with
+          | Some jt ->
+              acc := !acc +. (e.time -. jt);
+              incr n
+          | None -> ()))
+    t.events;
+  if !n = 0 then 0.0 else !acc /. float_of_int !n
+
+(* Build a trace from (join_time, session_length) pairs. *)
+let of_sessions ~name ~duration sessions =
+  let evs = ref [] in
+  let node = ref 0 in
+  List.iter
+    (fun (jt, session) ->
+      if jt < duration then begin
+        let id = !node in
+        incr node;
+        evs := { time = jt; node = id; kind = Join } :: !evs;
+        let lt = jt +. session in
+        if lt <= duration then evs := { time = lt; node = id; kind = Leave } :: !evs
+      end)
+    sessions;
+  { name; events = sort_events !evs; duration; n_nodes = !node }
+
+let poisson rng ~n_avg ~session_mean ~duration =
+  if n_avg <= 0 || session_mean <= 0.0 || duration <= 0.0 then invalid_arg "Trace.poisson";
+  let ramp = Float.min 600.0 (duration /. 10.0) in
+  let sessions = ref [] in
+  (* initial population staggered over the ramp *)
+  for _ = 1 to n_avg do
+    let jt = Rng.float rng ramp in
+    (* residual lifetime of a stationary renewal process with exponential
+       sessions is again exponential *)
+    let s = Rng.exponential rng ~mean:session_mean in
+    sessions := (jt, s) :: !sessions
+  done;
+  (* steady-state arrivals *)
+  let rate = float_of_int n_avg /. session_mean in
+  let t = ref ramp in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Rng.exponential rng ~mean:(1.0 /. rate);
+    if !t >= duration then continue := false
+    else sessions := (!t, Rng.exponential rng ~mean:session_mean) :: !sessions
+  done;
+  of_sessions ~name:(Printf.sprintf "poisson-%ds" (int_of_float session_mean)) ~duration
+    !sessions
+
+(* Lognormal parameters from a target median and mean:
+   median = exp mu, mean = exp (mu + sigma^2/2). *)
+let lognormal_params ~median ~mean =
+  if mean <= median then invalid_arg "lognormal_params: mean must exceed median";
+  let mu = log median in
+  let sigma = sqrt (2.0 *. log (mean /. median)) in
+  (mu, sigma)
+
+type profile = {
+  p_name : string;
+  n_base : float;
+  diurnal_amp : float;
+  weekend_drop : float; (* fraction of population absent on weekends *)
+  session_median : float;
+  session_mean : float;
+  p_duration : float;
+}
+
+(* Population-tracking synthetic churn. The target population follows a
+   day/week pattern; arrivals are an inhomogeneous Poisson process whose
+   rate both replaces departures and tracks the moving target, so the
+   per-node failure rate shows the daily/weekly swings of Fig 3. *)
+let synthetic rng profile ~scale ~duration =
+  let day = 86_400.0 and relax = 1800.0 in
+  let mu, sigma = lognormal_params ~median:profile.session_median ~mean:profile.session_mean in
+  let sample_session () = Rng.lognormal rng ~mu ~sigma in
+  let target t =
+    let daily = 1.0 +. (profile.diurnal_amp *. sin (2.0 *. Float.pi *. t /. day)) in
+    let dow = int_of_float (floor (t /. day)) mod 7 in
+    let weekly = if dow = 5 || dow = 6 then 1.0 -. profile.weekend_drop else 1.0 in
+    profile.n_base *. scale *. daily *. weekly
+  in
+  let dt = 10.0 in
+  let sessions = ref [] in
+  (* leave times of currently-active sessions, to track population *)
+  let leaves = Repro_util.Heap.create ~leq:(fun a b -> a <= b) () in
+  let population = ref 0 in
+  let t = ref 0.0 in
+  while !t < duration do
+    (* expire sessions *)
+    let rec expire () =
+      match Repro_util.Heap.peek leaves with
+      | Some lt when lt <= !t ->
+          ignore (Repro_util.Heap.pop leaves);
+          decr population;
+          expire ()
+      | Some _ | None -> ()
+    in
+    expire ();
+    let p = float_of_int !population in
+    let tracking = (target !t -. p) /. relax in
+    let replacement = p /. profile.session_mean in
+    let rate = Float.max 0.0 (tracking +. replacement) in
+    let k = Rng.poisson rng ~mean:(rate *. dt) in
+    for _ = 1 to k do
+      let jt = !t +. Rng.float rng dt in
+      let s = sample_session () in
+      sessions := (jt, s) :: !sessions;
+      Repro_util.Heap.push leaves (jt +. s);
+      incr population
+    done;
+    t := !t +. dt
+  done;
+  of_sessions ~name:profile.p_name ~duration !sessions
+
+let hours h = h *. 3600.0
+let days d = d *. 86_400.0
+
+let gnutella ?(scale = 1.0) ?duration rng =
+  let duration = match duration with Some d -> d | None -> hours 60.0 in
+  synthetic rng
+    {
+      p_name = "gnutella";
+      n_base = 2000.0;
+      diurnal_amp = 0.35;
+      weekend_drop = 0.0;
+      session_median = hours 1.0;
+      session_mean = hours 2.3;
+      p_duration = hours 60.0;
+    }
+    ~scale ~duration
+
+let overnet ?(scale = 1.0) ?duration rng =
+  let duration = match duration with Some d -> d | None -> days 7.0 in
+  synthetic rng
+    {
+      p_name = "overnet";
+      n_base = 455.0;
+      diurnal_amp = 0.43;
+      weekend_drop = 0.10;
+      session_median = 79.0 *. 60.0;
+      session_mean = 134.0 *. 60.0;
+      p_duration = days 7.0;
+    }
+    ~scale ~duration
+
+let microsoft ?(scale = 0.1) ?duration rng =
+  let duration = match duration with Some d -> d | None -> days 37.0 in
+  synthetic rng
+    {
+      p_name = "microsoft";
+      n_base = 15150.0;
+      diurnal_amp = 0.03;
+      weekend_drop = 0.02;
+      session_median = hours 30.0;
+      session_mean = hours 37.7;
+      p_duration = days 37.0;
+    }
+    ~scale ~duration
+
+let failure_rate_series t ~window =
+  let nw = int_of_float (ceil (t.duration /. window)) in
+  if nw <= 0 then [||]
+  else begin
+    let departures = Array.make nw 0.0 in
+    let pop_integral = Array.make nw 0.0 in
+    (* integrate population over each window by sweeping events *)
+    let cur = ref 0 in
+    let last_t = ref 0.0 in
+    let credit until =
+      (* add population-time from !last_t to until *)
+      let rec go t0 =
+        if t0 < until then begin
+          let w = int_of_float (floor (t0 /. window)) in
+          let w = if w >= nw then nw - 1 else w in
+          let wend = Float.min ((float_of_int w +. 1.0) *. window) until in
+          pop_integral.(w) <- pop_integral.(w) +. (float_of_int !cur *. (wend -. t0));
+          go wend
+        end
+      in
+      go !last_t;
+      last_t := until
+    in
+    Array.iter
+      (fun e ->
+        credit e.time;
+        match e.kind with
+        | Join -> incr cur
+        | Leave ->
+            decr cur;
+            let w = int_of_float (floor (e.time /. window)) in
+            let w = if w >= nw then nw - 1 else w in
+            departures.(w) <- departures.(w) +. 1.0)
+      t.events;
+    credit t.duration;
+    Array.init nw (fun w ->
+        let mid = (float_of_int w +. 0.5) *. window in
+        let rate =
+          if pop_integral.(w) <= 0.0 then 0.0 else departures.(w) /. pop_integral.(w)
+        in
+        (mid, rate))
+  end
+
+let population_series t ~window =
+  let nw = int_of_float (ceil (t.duration /. window)) in
+  if nw <= 0 then [||]
+  else begin
+    let pop_integral = Array.make nw 0.0 in
+    let cur = ref 0 in
+    let last_t = ref 0.0 in
+    let credit until =
+      let rec go t0 =
+        if t0 < until then begin
+          let w = int_of_float (floor (t0 /. window)) in
+          let w = if w >= nw then nw - 1 else w in
+          let wend = Float.min ((float_of_int w +. 1.0) *. window) until in
+          pop_integral.(w) <- pop_integral.(w) +. (float_of_int !cur *. (wend -. t0));
+          go wend
+        end
+      in
+      go !last_t;
+      last_t := until
+    in
+    Array.iter
+      (fun e ->
+        credit e.time;
+        match e.kind with Join -> incr cur | Leave -> decr cur)
+      t.events;
+    credit t.duration;
+    Array.init nw (fun w ->
+        ((float_of_int w +. 0.5) *. window, pop_integral.(w) /. window))
+  end

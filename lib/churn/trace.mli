@@ -1,0 +1,59 @@
+(** Churn traces: timed sequences of node arrivals and departures.
+
+    Every session is a distinct node slot (a node that leaves and comes
+    back counts as a fresh overlay node, as in the paper's traces). The
+    real Gnutella / OverNet / Microsoft measurement traces are not
+    available, so {!gnutella}, {!overnet} and {!microsoft} synthesise
+    traces calibrated to the statistics the paper reports for each —
+    session-time distribution (lognormal fitted to the published
+    median/mean), population band, and daily/weekly failure-rate
+    modulation. See DESIGN.md §2. *)
+
+type kind = Join | Leave
+
+type event = { time : float; node : int; kind : kind }
+
+type t
+
+val name : t -> string
+
+val events : t -> event array
+(** Time-sorted. Every node index joins at most once; its leave (if it
+    falls within the trace duration) follows its join. *)
+
+val duration : t -> float
+
+val n_nodes : t -> int
+(** Number of distinct node slots ( = number of sessions). *)
+
+val max_concurrent : t -> int
+
+val mean_session : t -> float
+(** Mean of the session times that completed within the trace. *)
+
+val poisson :
+  Repro_util.Rng.t -> n_avg:int -> session_mean:float -> duration:float -> t
+(** Steady-state churn: initial population joins staggered over a short
+    ramp, then Poisson arrivals at rate [n_avg /. session_mean] with
+    exponentially distributed session times (§5.1 "artificial traces"). *)
+
+val gnutella : ?scale:float -> ?duration:float -> Repro_util.Rng.t -> t
+(** Gnutella-like: 60 h, population band 1300–2700 with a daily swing,
+    sessions lognormal with median 1 h / mean 2.3 h. [scale] multiplies
+    the population (default 1.0; use e.g. 0.1 for quick runs). *)
+
+val overnet : ?scale:float -> ?duration:float -> Repro_util.Rng.t -> t
+(** OverNet-like: 7 days, 260–650 active, sessions median 79 min / mean
+    134 min. *)
+
+val microsoft : ?scale:float -> ?duration:float -> Repro_util.Rng.t -> t
+(** Microsoft-corporate-like: 37 days, ~15k active (scaled by [scale],
+    default 0.1 → ~1.5k), sessions mean 37.7 h; failure rate an order of
+    magnitude below the open-Internet traces, with weekday/weekend
+    pattern. *)
+
+val failure_rate_series : t -> window:float -> (float * float) array
+(** Fig 3: [(window mid-time, departures per active node per second)]. *)
+
+val population_series : t -> window:float -> (float * float) array
+(** [(window mid-time, mean active population)]. *)

@@ -1,0 +1,496 @@
+module Sim = Harness.Sim
+module Collector = Overlay_metrics.Collector
+module M = Mspastry.Message
+module Trace = Churn.Trace
+module Rng = Repro_util.Rng
+
+type size = Quick | Medium | Full
+
+let size_of_string = function
+  | "quick" -> Some Quick
+  | "medium" -> Some Medium
+  | "full" -> Some Full
+  | _ -> None
+
+let pp_size fmt s =
+  Format.pp_print_string fmt (match s with Quick -> "quick" | Medium -> "medium" | Full -> "full")
+
+let hours h = h *. 3600.0
+
+(* per-size dimensions for the synthetic traces *)
+let gnutella_scale = function Quick -> 0.06 | Medium -> 0.15 | Full -> 1.0
+let gnutella_duration = function
+  | Quick -> hours 2.5
+  | Medium -> hours 6.0
+  | Full -> hours 60.0
+
+let poisson_n = function Quick -> 120 | Medium -> 400 | Full -> 10_000
+let poisson_duration = function Quick -> hours 2.0 | Medium -> hours 5.0 | Full -> hours 12.0
+
+let warmup_for = function Quick -> 1800.0 | Medium -> 3600.0 | Full -> hours 3.0
+let window_for = function Quick -> 600.0 | Medium -> 600.0 | Full -> 600.0
+
+let gnutella_trace size ~seed =
+  Trace.gnutella
+    ~scale:(gnutella_scale size)
+    ~duration:(gnutella_duration size)
+    (Rng.create (seed + 1000))
+
+let base_config size ~seed =
+  {
+    Sim.default_config with
+    seed;
+    warmup = warmup_for size;
+    window = window_for size;
+  }
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let series_line name pts =
+  Printf.printf "%s:" name;
+  Array.iter (fun (t, v) -> Printf.printf " %.3g:%.4g" t v) pts;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let fig3 ?(size = Quick) ~seed () =
+  header "Fig 3: node failure rates (per node per second) for the three traces";
+  let traces =
+    match size with
+    | Full ->
+        [
+          ("gnutella", Trace.gnutella (Rng.create seed), 600.0);
+          ("overnet", Trace.overnet (Rng.create (seed + 1)), 600.0);
+          ("microsoft", Trace.microsoft (Rng.create (seed + 2)), 3600.0);
+        ]
+    | Medium | Quick ->
+        let sc = if size = Medium then 0.2 else 0.08 in
+        [
+          ("gnutella", Trace.gnutella ~scale:sc (Rng.create seed), 600.0);
+          ( "overnet",
+            Trace.overnet ~scale:1.0 ~duration:(hours 48.0) (Rng.create (seed + 1)),
+            600.0 );
+          ( "microsoft",
+            Trace.microsoft ~scale:0.02 ~duration:(hours 96.0) (Rng.create (seed + 2)),
+            3600.0 );
+        ]
+  in
+  List.iter
+    (fun (name, trace, window) ->
+      let series = Trace.failure_rate_series trace ~window in
+      (* thin long series for printing *)
+      let step = max 1 (Array.length series / 48) in
+      let thinned =
+        Array.of_list
+          (List.filteri (fun i _ -> i mod step = 0) (Array.to_list series))
+      in
+      Printf.printf "%-10s sessions=%d max-pop=%d mean-session=%.0fs\n" name
+        (Trace.n_nodes trace) (Trace.max_concurrent trace) (Trace.mean_session trace);
+      series_line "  failure-rate" thinned)
+    traces
+
+(* ------------------------------------------------------------------ *)
+
+let run_gnutella_with ?(cfg_adjust = fun c -> c) size ~seed =
+  let trace = gnutella_trace size ~seed in
+  let config = cfg_adjust (base_config size ~seed) in
+  (trace, Sim.run config ~trace)
+
+let topology_table ?(size = Quick) ~seed () =
+  header "Topology table (§5.3): dependability and performance per topology";
+  Printf.printf "%-10s %12s %12s %8s %8s\n" "topology" "loss-rate" "incorrect"
+    "control" "RDP";
+  List.iter
+    (fun kind ->
+      let _, r =
+        run_gnutella_with size ~seed ~cfg_adjust:(fun c -> { c with Sim.topology = kind })
+      in
+      let s = r.Sim.summary in
+      Printf.printf "%-10s %12.2e %12.2e %8.3f %8.2f\n%!"
+        (Sim.topology_name kind) s.Collector.loss_rate s.Collector.incorrect_rate
+        s.Collector.control_per_node_per_s s.Collector.rdp_mean)
+    [ Sim.Corpnet; Sim.Gatech; Sim.Mercator ]
+
+(* ------------------------------------------------------------------ *)
+
+let fig4 ?(size = Quick) ~seed () =
+  header "Fig 4: RDP and control traffic over time, per trace";
+  let mk_traces () =
+    match size with
+    | Full ->
+        [
+          ("gnutella", Trace.gnutella (Rng.create (seed + 1000)));
+          ("overnet", Trace.overnet (Rng.create (seed + 1001)));
+          ("microsoft", Trace.microsoft (Rng.create (seed + 1002)));
+        ]
+    | Medium ->
+        [
+          ("gnutella", Trace.gnutella ~scale:0.15 ~duration:(hours 8.0) (Rng.create (seed + 1000)));
+          ("overnet", Trace.overnet ~scale:0.6 ~duration:(hours 8.0) (Rng.create (seed + 1001)));
+          ("microsoft", Trace.microsoft ~scale:0.015 ~duration:(hours 8.0) (Rng.create (seed + 1002)));
+        ]
+    | Quick ->
+        [
+          ("gnutella", Trace.gnutella ~scale:0.06 ~duration:(hours 2.5) (Rng.create (seed + 1000)));
+          ("overnet", Trace.overnet ~scale:0.3 ~duration:(hours 2.5) (Rng.create (seed + 1001)));
+          ("microsoft", Trace.microsoft ~scale:0.008 ~duration:(hours 2.5) (Rng.create (seed + 1002)));
+        ]
+  in
+  List.iter
+    (fun (name, trace) ->
+      let config = base_config size ~seed in
+      let r = Sim.run config ~trace in
+      let s = r.Sim.summary in
+      Printf.printf "%-10s pop=%.0f rdp=%.2f control=%.3f msg/s/node loss=%.2e incorrect=%.2e\n"
+        name s.Collector.mean_population s.Collector.rdp_mean
+        s.Collector.control_per_node_per_s s.Collector.loss_rate s.Collector.incorrect_rate;
+      let norm arr =
+        let d = r.Sim.duration in
+        Array.map (fun (t, v) -> (t /. d, v)) arr
+      in
+      series_line "  rdp(t)" (norm (Collector.rdp_series r.Sim.collector));
+      series_line "  control(t)" (norm (Collector.control_series r.Sim.collector));
+      if name = "gnutella" then
+        List.iter
+          (fun cls ->
+            if M.is_control cls then
+              series_line
+                (Printf.sprintf "  %s(t)" (M.class_name cls))
+                (norm (Collector.control_series_by_class r.Sim.collector cls)))
+          M.all_classes;
+      flush stdout)
+    (mk_traces ())
+
+(* ------------------------------------------------------------------ *)
+
+let fig5 ?(size = Quick) ~seed () =
+  header "Fig 5: RDP, control traffic and join latency vs session time (Poisson)";
+  let sessions_min =
+    match size with Quick -> [ 5.; 15.; 30.; 120. ] | Medium | Full -> [ 5.; 15.; 30.; 60.; 120.; 600. ]
+  in
+  Printf.printf "%-12s %8s %10s %10s %12s %8s\n" "session(min)" "RDP" "control"
+    "loss" "join-fail" "joins";
+  let cdf_traces = ref [] in
+  List.iter
+    (fun mins ->
+      let session_mean = mins *. 60.0 in
+      let duration =
+        Float.max (poisson_duration size) (8.0 *. session_mean)
+      in
+      let duration = Float.min duration (hours 10.0) in
+      let trace =
+        Trace.poisson (Rng.create (seed + 2000 + int_of_float mins))
+          ~n_avg:(poisson_n size) ~session_mean ~duration
+      in
+      let config = base_config size ~seed in
+      let config = { config with Sim.warmup = Float.min config.Sim.warmup (duration /. 4.0) } in
+      let r = Sim.run config ~trace in
+      let s = r.Sim.summary in
+      Printf.printf "%-12.0f %8.2f %10.3f %10.2e %12d %8d\n%!" mins
+        s.Collector.rdp_mean s.Collector.control_per_node_per_s s.Collector.loss_rate
+        r.Sim.join_failures s.Collector.joins;
+      if mins = 5.0 || mins = 30.0 then
+        cdf_traces :=
+          (mins, Collector.join_latencies r.Sim.collector) :: !cdf_traces)
+    sessions_min;
+  List.iter
+    (fun (mins, lats) ->
+      let cdf = Repro_util.Stats.cdf lats in
+      let step = max 1 (Array.length cdf / 24) in
+      let thinned =
+        Array.of_list (List.filteri (fun i _ -> i mod step = 0) (Array.to_list cdf))
+      in
+      series_line (Printf.sprintf "join-latency-cdf-%.0fmin" mins) thinned)
+    (List.rev !cdf_traces)
+
+(* ------------------------------------------------------------------ *)
+
+let fig6 ?(size = Quick) ~seed () =
+  header "Fig 6: impact of network message loss (0-5%)";
+  Printf.printf "%-8s %8s %10s %12s %14s\n" "loss%" "RDP" "control" "lookup-loss"
+    "incorrect";
+  List.iter
+    (fun pct ->
+      let _, r =
+        run_gnutella_with size ~seed ~cfg_adjust:(fun c ->
+            { c with Sim.loss_rate = pct /. 100.0 })
+      in
+      let s = r.Sim.summary in
+      Printf.printf "%-8.1f %8.2f %10.3f %12.2e %14.2e\n%!" pct s.Collector.rdp_mean
+        s.Collector.control_per_node_per_s s.Collector.loss_rate s.Collector.incorrect_rate)
+    (match size with Quick -> [ 0.; 1.; 3.; 5. ] | Medium | Full -> [ 0.; 1.; 2.; 3.; 4.; 5. ])
+
+(* ------------------------------------------------------------------ *)
+
+let fig7 ?(size = Quick) ~seed () =
+  header "Fig 7: effect of leaf-set size l and digit size b";
+  Printf.printf "%-6s %10s %8s\n" "l" "control" "RDP";
+  List.iter
+    (fun l ->
+      let _, r =
+        run_gnutella_with size ~seed ~cfg_adjust:(fun c ->
+            { c with Sim.pastry = { c.Sim.pastry with Mspastry.Config.l } })
+      in
+      let s = r.Sim.summary in
+      Printf.printf "%-6d %10.3f %8.2f\n%!" l s.Collector.control_per_node_per_s
+        s.Collector.rdp_mean)
+    (match size with Quick -> [ 8; 16; 32 ] | Medium | Full -> [ 8; 16; 24; 32; 48; 64 ]);
+  Printf.printf "%-6s %10s %8s\n" "b" "control" "RDP";
+  List.iter
+    (fun b ->
+      let _, r =
+        run_gnutella_with size ~seed ~cfg_adjust:(fun c ->
+            { c with Sim.pastry = { c.Sim.pastry with Mspastry.Config.b } })
+      in
+      let s = r.Sim.summary in
+      Printf.printf "%-6d %10.3f %8.2f\n%!" b s.Collector.control_per_node_per_s
+        s.Collector.rdp_mean)
+    (match size with Quick -> [ 1; 2; 4 ] | Medium | Full -> [ 1; 2; 3; 4; 5 ])
+
+(* ------------------------------------------------------------------ *)
+
+let ablation ?(size = Quick) ~seed () =
+  header "Ablation (§5.3): active probing and per-hop acks";
+  Printf.printf "%-24s %-10s %12s %8s %10s\n" "configuration" "lookups/s" "loss-rate"
+    "RDP" "control";
+  let variants =
+    [
+      ("neither", false, false);
+      ("acks only", true, false);
+      ("probing only", false, true);
+      ("acks + probing", true, true);
+    ]
+  in
+  let rates = match size with Quick -> [ 0.01 ] | Medium | Full -> [ 0.01; 0.001 ] in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun (name, acks, probing) ->
+          let _, r =
+            run_gnutella_with size ~seed ~cfg_adjust:(fun c ->
+                {
+                  c with
+                  Sim.lookup_rate = rate;
+                  Sim.pastry =
+                    {
+                      c.Sim.pastry with
+                      Mspastry.Config.per_hop_acks = acks;
+                      active_probing = probing;
+                    };
+                })
+          in
+          let s = r.Sim.summary in
+          Printf.printf "%-24s %-10.3f %12.2e %8.2f %10.3f\n%!" name rate
+            s.Collector.loss_rate s.Collector.rdp_mean s.Collector.control_per_node_per_s)
+        variants)
+    rates
+
+(* ------------------------------------------------------------------ *)
+
+let selftuning ?(size = Quick) ~seed () =
+  header "Self-tuning (§5.3): raw loss rate vs target (per-hop acks off)";
+  Printf.printf "%-10s %12s %12s %10s\n" "target-Lr" "achieved" "RDP" "control";
+  List.iter
+    (fun target ->
+      let _, r =
+        run_gnutella_with size ~seed ~cfg_adjust:(fun c ->
+            {
+              c with
+              Sim.pastry =
+                {
+                  c.Sim.pastry with
+                  Mspastry.Config.per_hop_acks = false;
+                  lr_target = target;
+                };
+            })
+      in
+      let s = r.Sim.summary in
+      Printf.printf "%-10.2f %12.2e %12.2f %10.3f\n%!" target s.Collector.loss_rate
+        s.Collector.rdp_mean s.Collector.control_per_node_per_s)
+    [ 0.05; 0.01 ]
+
+(* ------------------------------------------------------------------ *)
+
+let suppression ?(size = Quick) ~seed () =
+  header "Suppression (§5.3): application traffic replaces failure detection";
+  Printf.printf "%-12s %12s %12s %12s %8s\n" "lookups/s" "rt-probes" "leafset"
+    "control" "RDP";
+  let rate_of cls s =
+    try List.assoc cls s.Collector.control_by_class with Not_found -> 0.0
+  in
+  List.iter
+    (fun rate ->
+      let _, r =
+        run_gnutella_with size ~seed ~cfg_adjust:(fun c -> { c with Sim.lookup_rate = rate })
+      in
+      let s = r.Sim.summary in
+      Printf.printf "%-12.3f %12.4f %12.4f %12.3f %8.2f\n%!" rate
+        (rate_of M.C_rt_probe s) (rate_of M.C_leafset s)
+        s.Collector.control_per_node_per_s s.Collector.rdp_mean)
+    (match size with
+    | Quick -> [ 0.0; 0.1; 1.0 ]
+    | Medium | Full -> [ 0.0; 0.01; 0.1; 1.0 ])
+
+(* ------------------------------------------------------------------ *)
+
+let structure_ablation ?(size = Quick) ~seed () =
+  header "Structure ablation (§4.1): leaf-set overhead vs l, heartbeat optimisation";
+  Printf.printf "%-6s %-12s %14s %14s\n" "l" "structure" "leafset-msgs" "control";
+  let ls =
+    match size with Quick -> [ 16; 32 ] | Medium | Full -> [ 8; 16; 32; 64 ]
+  in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun exploit ->
+          let _, r =
+            run_gnutella_with size ~seed ~cfg_adjust:(fun c ->
+                {
+                  c with
+                  Sim.pastry =
+                    { c.Sim.pastry with Mspastry.Config.l; exploit_structure = exploit };
+                })
+          in
+          let s = r.Sim.summary in
+          let leafset_rate =
+            try List.assoc M.C_leafset s.Collector.control_by_class with Not_found -> 0.0
+          in
+          Printf.printf "%-6d %-12s %14.4f %14.3f\n%!" l
+            (if exploit then "heartbeat" else "probe-all")
+            leafset_rate s.Collector.control_per_node_per_s)
+        [ true; false ])
+    ls
+
+(* ------------------------------------------------------------------ *)
+
+let fig8 ?(size = Quick) ~seed () =
+  header "Fig 8: Squirrel deployment traffic (simulator vs independent seed)";
+  let n_nodes, duration, window =
+    match size with
+    | Quick -> (26, 86_400.0, 3600.0)
+    | Medium -> (52, 2.0 *. 86_400.0, 3600.0)
+    | Full -> (52, 6.0 *. 86_400.0, 3600.0)
+  in
+  List.iter
+    (fun (label, s) ->
+      let r = Squirrel.Deployment.run ~n_nodes ~duration ~window ~seed:s () in
+      Printf.printf
+        "%-12s nodes=%d requests=%d hit-rate=%.2f failed=%d mean-latency=%.0fms\n" label
+        r.Squirrel.Deployment.n_nodes r.Squirrel.Deployment.cache_stats.Squirrel.Cache.requests
+        r.Squirrel.Deployment.hit_rate r.Squirrel.Deployment.cache_stats.Squirrel.Cache.failed
+        (r.Squirrel.Deployment.cache_stats.Squirrel.Cache.mean_latency *. 1000.0);
+      series_line "  total-traffic" r.Squirrel.Deployment.total_traffic)
+    [ ("run-A", seed); ("run-B", seed + 7919) ]
+
+let consistency ?(size = Quick) ~seed () =
+  header "Consistency vs latency (§3.2): delivery policy when the root misses an ack";
+  Printf.printf "%-24s %-8s %12s %12s %8s\n" "policy" "loss%" "incorrect"
+    "lookup-loss" "RDP";
+  List.iter
+    (fun (label, retries) ->
+      List.iter
+        (fun pct ->
+          let _, r =
+            run_gnutella_with size ~seed ~cfg_adjust:(fun c ->
+                {
+                  c with
+                  Sim.loss_rate = pct /. 100.0;
+                  Sim.pastry =
+                    { c.Sim.pastry with Mspastry.Config.root_retries = retries };
+                })
+          in
+          let s = r.Sim.summary in
+          Printf.printf "%-24s %-8.1f %12.2e %12.2e %8.2f\n%!" label pct
+            s.Collector.incorrect_rate s.Collector.loss_rate s.Collector.rdp_mean)
+        (match size with Quick -> [ 0.; 5. ] | Medium | Full -> [ 0.; 1.; 5. ]))
+    [
+      ("deliver-at-alternative", 0);
+      ("retry-root x4 (default)", 4);
+      ("retry-until-evicted", 20);
+    ]
+
+let apps ?(size = Quick) ~seed () =
+  header "Applications under churn (extension): Scribe multicast + PAST storage";
+  let trace = gnutella_trace size ~seed in
+  let config = base_config size ~seed in
+  let live = Sim.live_of_trace config ~trace in
+  let module Live = Sim.Live in
+  let warmup = warmup_for size in
+  let duration = Trace.duration trace in
+  let scribe = Scribe.create ~refresh_period:30.0 ~live () in
+  let store = Past_store.Past.create ~replicas:3 ~refresh_period:60.0 ~live () in
+  let group = Scribe.group_of_name "churn-group" in
+  let rng = Rng.create (seed + 31) in
+  let published = ref [] in
+  let n_objects = 100 in
+  ignore
+    (Simkit.Engine.schedule_at (Live.engine live) ~time:warmup (fun () ->
+         let nodes = Array.of_list (Live.active_nodes live) in
+         Array.iteri
+           (fun i n -> if i mod 2 = 0 then Scribe.subscribe scribe ~member:n group)
+           nodes;
+         for i = 0 to n_objects - 1 do
+           Past_store.Past.put store
+             ~client:nodes.(Rng.int rng (Array.length nodes))
+             ~key:(Printf.sprintf "obj-%d" i)
+             ~value:"payload"
+         done));
+  (* one multicast and two gets every 30 s for the rest of the trace *)
+  let t = ref (warmup +. 60.0) in
+  while !t < duration -. 60.0 do
+    let fire = !t in
+    ignore
+      (Simkit.Engine.schedule_at (Live.engine live) ~time:fire (fun () ->
+           let nodes = Array.of_list (Live.active_nodes live) in
+           if Array.length nodes > 0 then begin
+             let from = nodes.(Rng.int rng (Array.length nodes)) in
+             let id = Scribe.multicast scribe ~from group in
+             published := (id, Scribe.members scribe group) :: !published;
+             for _ = 1 to 2 do
+               Past_store.Past.get store
+                 ~client:nodes.(Rng.int rng (Array.length nodes))
+                 ~key:(Printf.sprintf "obj-%d" (Rng.int rng n_objects))
+             done
+           end));
+    t := !t +. 30.0
+  done;
+  Live.run_until live (duration +. 60.0);
+  let total = ref 0 and ratio_acc = ref 0.0 in
+  List.iter
+    (fun (id, members_then) ->
+      if members_then > 0 then begin
+        incr total;
+        ratio_acc :=
+          !ratio_acc
+          +. (float_of_int (Scribe.delivered scribe group id) /. float_of_int members_then)
+      end)
+    !published;
+  let st = Past_store.Past.stats store in
+  let sc = Scribe.stats scribe in
+  Printf.printf "scribe: %d multicasts, mean delivery ratio %.3f, %d members now\n"
+    !total
+    (if !total = 0 then 0.0 else !ratio_acc /. float_of_int !total)
+    (Scribe.members scribe group);
+  Printf.printf "        (%d subscribes, %d tree messages)\n" sc.Scribe.subscribes_sent
+    sc.Scribe.tree_messages;
+  Printf.printf
+    "past:   %d/%d gets hit (%d misses, %d timeouts), %d replicas resident, %d repairs\n%!"
+    st.Past_store.Past.get_hits st.Past_store.Past.gets st.Past_store.Past.get_misses
+    st.Past_store.Past.get_timeouts st.Past_store.Past.stored_objects
+    st.Past_store.Past.repair_pulls
+
+let all ?(size = Quick) ~seed () =
+  fig3 ~size ~seed ();
+  topology_table ~size ~seed ();
+  fig4 ~size ~seed ();
+  fig5 ~size ~seed ();
+  fig6 ~size ~seed ();
+  fig7 ~size ~seed ();
+  ablation ~size ~seed ();
+  selftuning ~size ~seed ();
+  suppression ~size ~seed ();
+  structure_ablation ~size ~seed ();
+  consistency ~size ~seed ();
+  apps ~size ~seed ();
+  fig8 ~size ~seed ()

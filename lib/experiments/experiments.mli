@@ -1,0 +1,73 @@
+(** One runner per table/figure of the paper's §5.
+
+    Each function runs the corresponding experiment and prints the same
+    rows/series the paper plots (see DESIGN.md §4 for the experiment
+    index and EXPERIMENTS.md for paper-vs-measured numbers). [size]
+    scales population and simulated time:
+    - [Quick] ≈ 150 nodes, ~2.5 simulated hours — seconds to minutes of
+      wall time, used by the bench harness;
+    - [Medium] ≈ 400 nodes, 6 hours;
+    - [Full] — the paper's dimensions (thousands of nodes, days;
+      expensive). *)
+
+type size = Quick | Medium | Full
+
+val size_of_string : string -> size option
+val pp_size : Format.formatter -> size -> unit
+
+val gnutella_trace : size -> seed:int -> Churn.Trace.t
+(** The workhorse trace at the given scale (shared by E2, E5–E9). *)
+
+val base_config : size -> seed:int -> Harness.Sim.config
+
+val fig3 : ?size:size -> seed:int -> unit -> unit
+(** Node failure rates over time for the three traces. *)
+
+val topology_table : ?size:size -> seed:int -> unit -> unit
+(** §5.3 "Network topology": loss, control traffic and RDP on CorpNet,
+    GATech and Mercator. *)
+
+val fig4 : ?size:size -> seed:int -> unit -> unit
+(** RDP and control traffic over (normalised) time for the three traces,
+    plus the per-class control breakdown on the Gnutella trace. *)
+
+val fig5 : ?size:size -> seed:int -> unit -> unit
+(** RDP, control traffic and join-latency CDF for Poisson traces with
+    session times 5–600 minutes. *)
+
+val fig6 : ?size:size -> seed:int -> unit -> unit
+(** RDP, control traffic, lookup loss rate and incorrect delivery rate
+    as network loss varies 0–5%. *)
+
+val fig7 : ?size:size -> seed:int -> unit -> unit
+(** Control traffic and RDP vs leaf-set size l; RDP vs b. *)
+
+val ablation : ?size:size -> seed:int -> unit -> unit
+(** §5.3 "Active probing and per-hop acks": the four technique
+    combinations at two application traffic levels. *)
+
+val selftuning : ?size:size -> seed:int -> unit -> unit
+(** §5.3: achieved raw loss rate and control traffic when tuning to
+    Lr = 5% vs 1% (per-hop acks off). *)
+
+val suppression : ?size:size -> seed:int -> unit -> unit
+(** §5.3: failure-detection traffic suppressed by application traffic. *)
+
+val structure_ablation : ?size:size -> seed:int -> unit -> unit
+(** Extra ablation for §4.1's claim: leaf-set maintenance overhead vs l
+    with and without the single-heartbeat optimisation. *)
+
+val fig8 : ?size:size -> seed:int -> unit -> unit
+(** Squirrel total traffic per node over six days, two seeds. *)
+
+val consistency : ?size:size -> seed:int -> unit -> unit
+(** §3.2's consistency-latency trade-off: the default retry-the-root
+    policy against the deliver-at-the-alternative variant, with and
+    without link loss. *)
+
+val apps : ?size:size -> seed:int -> unit -> unit
+(** Extension experiment: the applications the paper motivates (§1, §3.1)
+    riding on the overlay under Gnutella-like churn — Scribe multicast
+    delivery ratio and PAST storage durability. *)
+
+val all : ?size:size -> seed:int -> unit -> unit

@@ -1,0 +1,31 @@
+module Id_map = Map.Make (Pastry.Nodeid)
+
+type t = { mutable members : int Id_map.t }
+
+let create () = { members = Id_map.empty }
+let add t id addr = t.members <- Id_map.add id addr t.members
+let remove t id = t.members <- Id_map.remove id t.members
+let size t = Id_map.cardinal t.members
+let mem t id = Id_map.mem id t.members
+
+let closest t key =
+  if Id_map.is_empty t.members then None
+  else begin
+    (* candidates: ring successor and predecessor of the key (with wrap) *)
+    let succ =
+      match Id_map.find_first_opt (fun id -> Pastry.Nodeid.compare id key >= 0) t.members with
+      | Some b -> Some b
+      | None -> Some (Id_map.min_binding t.members)
+    in
+    let pred =
+      match Id_map.find_last_opt (fun id -> Pastry.Nodeid.compare id key < 0) t.members with
+      | Some b -> Some b
+      | None -> Some (Id_map.max_binding t.members)
+    in
+    match (succ, pred) with
+    | Some (si, sa), Some (pi, _) when Pastry.Nodeid.equal si pi -> Some (si, sa)
+    | Some (si, sa), Some (pi, pa) ->
+        if Pastry.Nodeid.closer ~key si pi then Some (si, sa) else Some (pi, pa)
+    | Some b, None | None, Some b -> Some b
+    | None, None -> None
+  end

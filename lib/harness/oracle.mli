@@ -1,0 +1,17 @@
+(** Ground-truth key-ownership oracle.
+
+    The harness keeps the set of currently-active node identifiers here;
+    a delivery is {e correct} iff the delivering node is the active node
+    ring-closest to the key at delivery time (§5.2), under the same
+    tie-break as the protocol ({!Pastry.Nodeid.closer}). *)
+
+type t
+
+val create : unit -> t
+val add : t -> Pastry.Nodeid.t -> int -> unit
+val remove : t -> Pastry.Nodeid.t -> unit
+val size : t -> int
+val mem : t -> Pastry.Nodeid.t -> bool
+
+val closest : t -> Pastry.Nodeid.t -> (Pastry.Nodeid.t * int) option
+(** The active (id, addr) owning the key; [None] when the set is empty. *)

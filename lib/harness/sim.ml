@@ -1,0 +1,359 @@
+module Rng = Repro_util.Rng
+module Node = Mspastry.Node
+module M = Mspastry.Message
+module Collector = Overlay_metrics.Collector
+
+type topology_kind = Gatech | Gatech_full | Mercator | Corpnet | Flat of float
+
+let topology_name = function
+  | Gatech -> "gatech"
+  | Gatech_full -> "gatech-full"
+  | Mercator -> "mercator"
+  | Corpnet -> "corpnet"
+  | Flat _ -> "flat"
+
+let make_topology kind ~rng ~n_endpoints =
+  match kind with
+  | Gatech ->
+      Topology.transit_stub ~transit_domains:6 ~routers_per_transit:3
+        ~stubs_per_transit_router:4 ~routers_per_stub:5 ~rng ~n_endpoints ()
+  | Gatech_full -> Topology.transit_stub ~rng ~n_endpoints ()
+  | Mercator -> Topology.as_graph ~rng ~n_endpoints ()
+  | Corpnet -> Topology.corpnet ~rng ~n_endpoints ()
+  | Flat d -> Topology.constant ~n_endpoints ~delay:d
+
+type config = {
+  pastry : Mspastry.Config.t;
+  topology : topology_kind;
+  loss_rate : float;
+  lookup_rate : float;
+  graceful_leave_fraction : float;
+  seed : int;
+  warmup : float;
+  window : float;
+  max_endpoints : int;
+  drain : float;
+}
+
+let default_config =
+  {
+    pastry = Mspastry.Config.default;
+    topology = Gatech;
+    loss_rate = 0.0;
+    lookup_rate = 0.01;
+    graceful_leave_fraction = 0.0;
+    seed = 42;
+    warmup = 1800.0;
+    window = 600.0;
+    max_endpoints = 4096;
+    drain = 60.0;
+  }
+
+type result = {
+  collector : Collector.t;
+  summary : Collector.summary;
+  duration : float;
+  join_failures : int;
+  nodes_created : int;
+}
+
+(* set of active node addresses with O(1) random pick *)
+module Active_set = struct
+  type t = { mutable addrs : int array; mutable n : int; index : (int, int) Hashtbl.t }
+
+  let create () = { addrs = Array.make 64 0; n = 0; index = Hashtbl.create 64 }
+
+  let add t addr =
+    if not (Hashtbl.mem t.index addr) then begin
+      if t.n = Array.length t.addrs then begin
+        let bigger = Array.make (2 * t.n) 0 in
+        Array.blit t.addrs 0 bigger 0 t.n;
+        t.addrs <- bigger
+      end;
+      t.addrs.(t.n) <- addr;
+      Hashtbl.replace t.index addr t.n;
+      t.n <- t.n + 1
+    end
+
+  let remove t addr =
+    match Hashtbl.find_opt t.index addr with
+    | None -> ()
+    | Some i ->
+        let last = t.addrs.(t.n - 1) in
+        t.addrs.(i) <- last;
+        Hashtbl.replace t.index last i;
+        Hashtbl.remove t.index addr;
+        t.n <- t.n - 1
+
+    let size t = t.n
+
+    let pick t rng = if t.n = 0 then None else Some t.addrs.(Rng.int rng t.n)
+end
+
+module Live = struct
+  type t = {
+    config : config;
+    engine : Simkit.Engine.t;
+    topology : Topology.t;
+    net : M.t Netsim.Net.t;
+    collector : Collector.t;
+    oracle : Oracle.t;
+    rng_ids : Rng.t;
+    rng_workload : Rng.t;
+    rng_net : Rng.t;
+    nodes : (int, Node.t) Hashtbl.t; (* addr -> node *)
+    active : Active_set.t;
+    n_endpoints : int;
+    mutable next_addr : int;
+    mutable next_seq : int;
+    mutable join_failures : int;
+    mutable lookup_end : float;
+    mutable deliver_hooks : (Node.t -> M.lookup -> unit) list;
+    mutable forward_hooks :
+      (Node.t -> prev:Pastry.Peer.t option -> M.lookup -> Node.forward_decision) list;
+  }
+
+  let engine t = t.engine
+  let net t = t.net
+  let collector t = t.collector
+  let oracle t = t.oracle
+  let topology t = t.topology
+  let join_failures t = t.join_failures
+  let nodes_created t = t.next_addr
+  let node_count t = Active_set.size t.active
+
+  let create config ~n_endpoints =
+    let master = Rng.create config.seed in
+    let rng_topo = Rng.split master in
+    let rng_net = Rng.split master in
+    let rng_ids = Rng.split master in
+    let rng_workload = Rng.split master in
+    let topology = make_topology config.topology ~rng:rng_topo ~n_endpoints in
+    let engine = Simkit.Engine.create () in
+    let collector = Collector.create ~window:config.window () in
+    let endpoint_of addr = addr mod n_endpoints in
+    let net =
+      Netsim.Net.create ~loss_rate:config.loss_rate ~endpoint_of ~engine ~topology
+        ~rng:rng_net ()
+    in
+    Netsim.Net.on_send net (fun ~time ~src:_ ~dst:_ msg ->
+        Collector.record_send collector ~time (M.classify msg));
+    {
+      config;
+      engine;
+      topology;
+      net;
+      collector;
+      oracle = Oracle.create ();
+      rng_ids;
+      rng_workload;
+      rng_net;
+      nodes = Hashtbl.create 1024;
+      active = Active_set.create ();
+      n_endpoints;
+      next_addr = 0;
+      next_seq = 0;
+      join_failures = 0;
+      lookup_end = infinity;
+      deliver_hooks = [];
+      forward_hooks = [];
+    }
+
+  let on_deliver t hook = t.deliver_hooks <- hook :: t.deliver_hooks
+  let on_forward t hook = t.forward_hooks <- hook :: t.forward_hooks
+  let find_node t ~addr = Hashtbl.find_opt t.nodes addr
+
+  let endpoint_of t addr = addr mod t.n_endpoints
+
+  let alloc_lookup t =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Collector.lookup_sent t.collector ~seq ~time:(Simkit.Engine.now t.engine);
+    seq
+
+  let send_lookup _t node ~key ~seq = Node.lookup node ~key ~seq
+
+  let lookup t node ~key =
+    let seq = alloc_lookup t in
+    send_lookup t node ~key ~seq;
+    seq
+
+  let rec lookup_loop t node =
+    if t.config.lookup_rate > 0.0 then begin
+      let delay = Rng.exponential t.rng_workload ~mean:(1.0 /. t.config.lookup_rate) in
+      ignore
+        (Simkit.Engine.schedule t.engine ~delay (fun () ->
+             if Node.is_alive node && Node.is_active node then begin
+               if Simkit.Engine.now t.engine <= t.lookup_end then begin
+                 let key = Pastry.Nodeid.random t.rng_workload in
+                 ignore (lookup t node ~key)
+               end;
+               lookup_loop t node
+             end))
+    end
+
+  let spawn t () =
+    let addr = t.next_addr in
+    t.next_addr <- addr + 1;
+    let id = Pastry.Nodeid.random t.rng_ids in
+    let spawn_time = Simkit.Engine.now t.engine in
+    let node_ref = ref None in
+    let env =
+      {
+        Node.now = (fun () -> Simkit.Engine.now t.engine);
+        send = (fun ~dst msg -> Netsim.Net.send t.net ~src:addr ~dst msg);
+        schedule = (fun ~delay fn -> Simkit.Engine.schedule t.engine ~delay fn);
+        cancel = (fun ev -> Simkit.Engine.cancel t.engine ev);
+        rng = Rng.split t.rng_ids;
+        deliver =
+          (fun l ->
+            match !node_ref with
+            | None -> ()
+            | Some node ->
+                let correct =
+                  match Oracle.closest t.oracle l.M.key with
+                  | Some (root_id, _) -> Pastry.Nodeid.equal root_id id
+                  | None -> false
+                in
+                let direct =
+                  Topology.delay t.topology
+                    (endpoint_of t l.M.origin.Pastry.Peer.addr)
+                    (endpoint_of t addr)
+                in
+                Collector.lookup_delivered t.collector ~seq:l.M.seq
+                  ~time:(Simkit.Engine.now t.engine) ~correct ~direct_delay:direct
+                  ~hops:l.M.hops;
+                List.iter (fun hook -> hook node l) t.deliver_hooks);
+        forward =
+          (fun ~prev l ->
+            match !node_ref with
+            | None -> Node.Continue
+            | Some node ->
+                if
+                  List.exists
+                    (fun hook -> hook node ~prev l = Node.Absorb)
+                    t.forward_hooks
+                then Node.Absorb
+                else Node.Continue);
+        on_active =
+          (fun () ->
+            (match !node_ref with
+            | Some node ->
+                Oracle.add t.oracle id addr;
+                Active_set.add t.active addr;
+                Collector.set_population t.collector
+                  ~time:(Simkit.Engine.now t.engine)
+                  (Active_set.size t.active);
+                Collector.join_recorded t.collector
+                  ~latency:(Simkit.Engine.now t.engine -. spawn_time);
+                lookup_loop t node
+            | None -> ()));
+        on_join_failed =
+          (fun () ->
+            t.join_failures <- t.join_failures + 1;
+            Netsim.Net.unregister t.net ~addr);
+        on_lookup_drop = (fun _ -> ());
+      }
+    in
+    let node = Node.create ~cfg:t.config.pastry ~env ~id ~addr in
+    node_ref := Some node;
+    Hashtbl.replace t.nodes addr node;
+    Netsim.Net.register t.net ~addr (fun ~src msg -> Node.handle node ~src msg);
+    (match Active_set.pick t.active t.rng_ids with
+    | Some seed_addr -> Node.join node ~bootstrap_addr:seed_addr
+    | None ->
+        if t.next_addr = 1 then begin
+          Node.bootstrap node;
+          (* bootstrap's on_active fired synchronously inside create?  No:
+             bootstrap is called after node_ref is set, on_active fires
+             through env above. *)
+          ()
+        end
+        else begin
+          (* no live node to join through yet: retry shortly *)
+          let rec retry () =
+            if Node.is_alive node && not (Node.is_active node) then begin
+              match Active_set.pick t.active t.rng_ids with
+              | Some seed_addr -> Node.join node ~bootstrap_addr:seed_addr
+              | None -> ignore (Simkit.Engine.schedule t.engine ~delay:5.0 retry)
+            end
+          in
+          ignore (Simkit.Engine.schedule t.engine ~delay:5.0 retry)
+        end);
+    node
+
+  let spawn_at t ~time () =
+    ignore (Simkit.Engine.schedule_at t.engine ~time (fun () -> ignore (spawn t ())))
+
+  let crash_node ?(graceful = false) t node =
+    let addr = (Node.me node).Pastry.Peer.addr in
+    let id = (Node.me node).Pastry.Peer.id in
+    let was_active = Node.is_active node in
+    if graceful then Node.leave node;
+    Node.crash node;
+    Netsim.Net.unregister t.net ~addr;
+    Hashtbl.remove t.nodes addr;
+    if was_active then begin
+      Oracle.remove t.oracle id;
+      Active_set.remove t.active addr;
+      Collector.set_population t.collector
+        ~time:(Simkit.Engine.now t.engine)
+        (Active_set.size t.active)
+    end
+
+  let active_nodes t =
+    Hashtbl.fold (fun _ n acc -> if Node.is_active n then n :: acc else acc) t.nodes []
+
+  let run_until t time = Simkit.Engine.run t.engine ~until:time
+end
+
+let schedule_trace live trace =
+  (* trace node index -> live node *)
+  let by_trace_node = Hashtbl.create 1024 in
+  Array.iter
+    (fun ev ->
+      let time = ev.Churn.Trace.time in
+      match ev.Churn.Trace.kind with
+      | Churn.Trace.Join ->
+          ignore
+            (Simkit.Engine.schedule_at live.Live.engine ~time (fun () ->
+                 let node = Live.spawn live () in
+                 Hashtbl.replace by_trace_node ev.Churn.Trace.node node))
+      | Churn.Trace.Leave ->
+          ignore
+            (Simkit.Engine.schedule_at live.Live.engine ~time (fun () ->
+                 match Hashtbl.find_opt by_trace_node ev.Churn.Trace.node with
+                 | Some node ->
+                     Hashtbl.remove by_trace_node ev.Churn.Trace.node;
+                     let graceful =
+                       live.Live.config.graceful_leave_fraction > 0.0
+                       && Rng.float live.Live.rng_workload 1.0
+                          < live.Live.config.graceful_leave_fraction
+                     in
+                     Live.crash_node ~graceful live node
+                 | None -> ())))
+    (Churn.Trace.events trace)
+
+let live_of_trace config ~trace =
+  let n_endpoints =
+    min config.max_endpoints (max 16 (Churn.Trace.max_concurrent trace * 2))
+  in
+  let live = Live.create config ~n_endpoints in
+  live.Live.lookup_end <- Churn.Trace.duration trace;
+  schedule_trace live trace;
+  live
+
+let run config ~trace =
+  let live = live_of_trace config ~trace in
+  let duration = Churn.Trace.duration trace in
+  Live.run_until live (duration +. config.drain);
+  let summary =
+    Collector.summary ~since:config.warmup ~until:duration live.Live.collector
+  in
+  {
+    collector = live.Live.collector;
+    summary;
+    duration;
+    join_failures = live.Live.join_failures;
+    nodes_created = live.Live.next_addr;
+  }

@@ -1,0 +1,114 @@
+(** Whole-system simulation runner.
+
+    Replays a churn trace against a network topology: every trace arrival
+    creates an MSPastry node with a fresh random identifier that joins via
+    a random live node; departures are crashes (as in the paper's fault
+    injection). Active nodes issue lookups to uniformly random keys as a
+    Poisson process. All metrics flow into a {!Overlay_metrics.Collector}.*)
+
+type topology_kind =
+  | Gatech  (** scaled transit-stub (~380 routers) *)
+  | Gatech_full  (** the paper's 5050-router dimensions *)
+  | Mercator
+  | Corpnet
+  | Flat of float  (** constant one-way delay — fast, for tests *)
+
+val topology_name : topology_kind -> string
+
+val make_topology :
+  topology_kind -> rng:Repro_util.Rng.t -> n_endpoints:int -> Topology.t
+
+type config = {
+  pastry : Mspastry.Config.t;
+  topology : topology_kind;
+  loss_rate : float;  (** uniform network message loss *)
+  lookup_rate : float;  (** lookups per second per active node *)
+  graceful_leave_fraction : float;
+      (** fraction of trace departures executed as graceful GOODBYEs
+          rather than crashes (the paper's fault injection uses 0) *)
+  seed : int;
+  warmup : float;  (** measurement window starts here *)
+  window : float;  (** metrics averaging window *)
+  max_endpoints : int;  (** cap on distinct network attachment points *)
+  drain : float;  (** extra simulated time after the trace ends *)
+}
+
+val default_config : config
+
+type result = {
+  collector : Overlay_metrics.Collector.t;
+  summary : Overlay_metrics.Collector.summary;  (** warmup → trace end *)
+  duration : float;
+  join_failures : int;  (** nodes whose join never completed *)
+  nodes_created : int;
+}
+
+val run : config -> trace:Churn.Trace.t -> result
+
+(** Access to live simulation internals, for integration tests and
+    applications that replay a churn trace with extra machinery riding on
+    the overlay. *)
+
+(** Access to live simulation internals, for integration tests and
+    applications (e.g. Squirrel) that need to drive the overlay directly. *)
+module Live : sig
+  type t
+
+  val create : config -> n_endpoints:int -> t
+  val engine : t -> Simkit.Engine.t
+  val net : t -> Mspastry.Message.t Netsim.Net.t
+  val collector : t -> Overlay_metrics.Collector.t
+  val oracle : t -> Oracle.t
+  val topology : t -> Topology.t
+
+  val spawn : t -> unit -> Mspastry.Node.t
+  (** Create a node (first call bootstraps the overlay; later calls join
+      via a random active node) and register it with the network. Nodes
+      attach to topology endpoints round-robin (address mod endpoints);
+      control placement by choosing spawn order. *)
+
+  val spawn_at : t -> time:float -> unit -> unit
+  (** Schedule a {!spawn} at an absolute simulation time. *)
+
+  (** [crash_node ?graceful t node] — [graceful:true] sends GOODBYE to
+      the leaf set before halting. *)
+  val crash_node : ?graceful:bool -> t -> Mspastry.Node.t -> unit
+  val active_nodes : t -> Mspastry.Node.t list
+  val node_count : t -> int
+  val lookup : t -> Mspastry.Node.t -> key:Pastry.Nodeid.t -> int
+  (** Issue a lookup, returning its sequence number. Delivery can happen
+      synchronously (when the issuing node is the key's root) — callers
+      that must install per-sequence state before delivery should use
+      {!alloc_lookup} + {!send_lookup} instead. *)
+
+  val alloc_lookup : t -> int
+  (** Reserve a sequence number and record the lookup as sent. *)
+
+  val send_lookup : t -> Mspastry.Node.t -> key:Pastry.Nodeid.t -> seq:int -> unit
+
+  val on_deliver : t -> (Mspastry.Node.t -> Mspastry.Message.lookup -> unit) -> unit
+  (** Extra application-level delivery hook (Squirrel uses this). *)
+
+  val on_forward :
+    t ->
+    (Mspastry.Node.t ->
+    prev:Pastry.Peer.t option ->
+    Mspastry.Message.lookup ->
+    Mspastry.Node.forward_decision) ->
+    unit
+  (** Common-API forward upcall: called at every node a lookup passes
+      through, with the previous hop. Returning [Absorb] from any hook
+      consumes the message at that node (Scribe builds its multicast
+      trees this way). *)
+
+  val find_node : t -> addr:int -> Mspastry.Node.t option
+  (** The live node registered at an address, if any. *)
+
+  val run_until : t -> float -> unit
+  val join_failures : t -> int
+  val nodes_created : t -> int
+end
+
+val live_of_trace : config -> trace:Churn.Trace.t -> Live.t
+(** A {!Live} session with the trace's joins and crashes pre-scheduled
+    (lookups stop at the trace's end); the caller drives the clock. *)

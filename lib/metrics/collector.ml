@@ -1,0 +1,231 @@
+module M = Mspastry.Message
+module Series = Repro_util.Series
+
+type lookup_rec = {
+  sent : float;
+  mutable deliveries : int;
+  mutable first_delay : float;
+  mutable first_hops : int;
+  mutable first_rdp : float;
+  mutable incorrect : int;
+}
+
+type t = {
+  window : float;
+  sends : (M.traffic_class * Series.t) list; (* message counts per class *)
+  pop_integral : Series.t; (* node-seconds per window *)
+  mutable cur_pop : int;
+  mutable pop_last_t : float;
+  mutable last_event : float;
+  lookups : (int, lookup_rec) Hashtbl.t;
+  rdp_w : Series.t;
+  join_lat : float list ref;
+}
+
+let create ?(window = 600.0) () =
+  {
+    window;
+    sends = List.map (fun c -> (c, Series.create ~window)) M.all_classes;
+    pop_integral = Series.create ~window;
+    cur_pop = 0;
+    pop_last_t = 0.0;
+    last_event = 0.0;
+    lookups = Hashtbl.create 4096;
+    rdp_w = Series.create ~window;
+    join_lat = ref [];
+  }
+
+let record_send t ~time cls =
+  if time > t.last_event then t.last_event <- time;
+  Series.count (List.assq cls t.sends) ~time
+
+(* credit node-seconds from the last population change up to [time] *)
+let credit_population t ~time =
+  let rec go t0 =
+    if t0 < time then begin
+      let wend = Float.min ((floor (t0 /. t.window) +. 1.0) *. t.window) time in
+      Series.add t.pop_integral ~time:t0 (float_of_int t.cur_pop *. (wend -. t0));
+      go wend
+    end
+  in
+  go t.pop_last_t;
+  t.pop_last_t <- Float.max t.pop_last_t time
+
+let set_population t ~time n =
+  credit_population t ~time;
+  t.cur_pop <- n
+
+let flush t ~time = credit_population t ~time
+
+let lookup_sent t ~seq ~time =
+  Hashtbl.replace t.lookups seq
+    {
+      sent = time;
+      deliveries = 0;
+      first_delay = nan;
+      first_hops = 0;
+      first_rdp = nan;
+      incorrect = 0;
+    }
+
+let lookup_delivered t ~seq ~time ~correct ~direct_delay ~hops =
+  match Hashtbl.find_opt t.lookups seq with
+  | None -> ()
+  | Some r ->
+      r.deliveries <- r.deliveries + 1;
+      if not correct then r.incorrect <- r.incorrect + 1;
+      if r.deliveries = 1 then begin
+        let delay = time -. r.sent in
+        r.first_delay <- delay;
+        r.first_hops <- hops;
+        let rdp = if direct_delay > 0.0 then delay /. direct_delay else 1.0 in
+        r.first_rdp <- rdp;
+        Series.add t.rdp_w ~time rdp
+      end
+
+let join_recorded t ~latency = t.join_lat := latency :: !(t.join_lat)
+
+type summary = {
+  lookups_sent : int;
+  lookups_delivered : int;
+  lookups_lost : int;
+  incorrect_deliveries : int;
+  loss_rate : float;
+  incorrect_rate : float;
+  rdp_mean : float;
+  delay_mean : float;
+  hops_mean : float;
+  control_msgs : float;
+  control_per_node_per_s : float;
+  control_by_class : (M.traffic_class * float) list;
+  lookup_msgs : float;
+  mean_population : float;
+  joins : int;
+  join_latency_mean : float;
+}
+
+let in_range since until (time, _) = time >= since && time <= until
+
+let sum_series ~since ~until s =
+  Series.sums s |> Array.to_list
+  |> List.filter (in_range since until)
+  |> List.fold_left (fun acc (_, v) -> acc +. v) 0.0
+
+let summary ?(since = 0.0) ?(until = infinity) ?(drain = 30.0) t =
+  (* flush population credit up to the summary horizon; with no explicit
+     horizon, use the last recorded send so numerator and denominator of
+     the per-node rates cover the same span *)
+  let horizon = if Float.is_finite until then until else Float.max t.pop_last_t t.last_event in
+  credit_population t ~time:horizon;
+  let node_seconds = sum_series ~since ~until t.pop_integral in
+  let lookup_cutoff = until -. drain in
+  let sent = ref 0
+  and delivered = ref 0
+  and lost = ref 0
+  and incorrect = ref 0
+  and delay_acc = ref 0.0
+  and rdp_acc = ref 0.0
+  and hops_acc = ref 0
+  and first_n = ref 0 in
+  Hashtbl.iter
+    (fun _ r ->
+      if r.sent >= since && r.sent <= until then begin
+        incorrect := !incorrect + r.incorrect;
+        if r.sent <= lookup_cutoff then begin
+          incr sent;
+          if r.deliveries > 0 then incr delivered else incr lost
+        end;
+        if r.deliveries > 0 then begin
+          incr first_n;
+          delay_acc := !delay_acc +. r.first_delay;
+          rdp_acc := !rdp_acc +. r.first_rdp;
+          hops_acc := !hops_acc + r.first_hops
+        end
+      end)
+    t.lookups;
+  let fdiv a b = if b = 0 then 0.0 else a /. float_of_int b in
+  let control_by_class =
+    List.filter_map
+      (fun (c, s) ->
+        if M.is_control c then
+          Some (c, if node_seconds > 0.0 then sum_series ~since ~until s /. node_seconds else 0.0)
+        else None)
+      t.sends
+  in
+  let control_msgs =
+    List.fold_left
+      (fun acc (c, s) -> if M.is_control c then acc +. sum_series ~since ~until s else acc)
+      0.0 t.sends
+  in
+  let lookup_msgs = sum_series ~since ~until (List.assq M.C_lookup t.sends) in
+  let span = (Float.min until t.pop_last_t -. since) in
+  let joins = List.length !(t.join_lat) in
+  {
+    lookups_sent = !sent;
+    lookups_delivered = !delivered;
+    lookups_lost = !lost;
+    incorrect_deliveries = !incorrect;
+    loss_rate = fdiv (float_of_int !lost) !sent;
+    incorrect_rate = fdiv (float_of_int !incorrect) !sent;
+    rdp_mean = fdiv !rdp_acc !first_n;
+    delay_mean = fdiv !delay_acc !first_n;
+    hops_mean = fdiv (float_of_int !hops_acc) !first_n;
+    control_msgs;
+    control_per_node_per_s = (if node_seconds > 0.0 then control_msgs /. node_seconds else 0.0);
+    control_by_class;
+    lookup_msgs;
+    mean_population = (if span > 0.0 then node_seconds /. span else 0.0);
+    joins;
+    join_latency_mean =
+      (if joins = 0 then 0.0
+       else List.fold_left ( +. ) 0.0 !(t.join_lat) /. float_of_int joins);
+  }
+
+let rdp_series t = Series.means t.rdp_w
+
+let population_series t =
+  Series.sums t.pop_integral |> Array.map (fun (mid, v) -> (mid, v /. t.window))
+
+let control_series t =
+  let pop = Series.sums t.pop_integral in
+  let pop_tbl = Hashtbl.create 64 in
+  Array.iter (fun (mid, v) -> Hashtbl.replace pop_tbl mid v) pop;
+  let totals = Hashtbl.create 64 in
+  List.iter
+    (fun (c, s) ->
+      if M.is_control c then
+        Array.iter
+          (fun (mid, v) ->
+            Hashtbl.replace totals mid
+              (v +. (try Hashtbl.find totals mid with Not_found -> 0.0)))
+          (Series.sums s))
+    t.sends;
+  Hashtbl.fold (fun mid v acc -> (mid, v) :: acc) totals []
+  |> List.sort compare
+  |> List.filter_map (fun (mid, v) ->
+         match Hashtbl.find_opt pop_tbl mid with
+         | Some ns when ns > 0.0 -> Some (mid, v /. ns)
+         | Some _ | None -> None)
+  |> Array.of_list
+
+let control_series_by_class t cls =
+  let pop_tbl = Hashtbl.create 64 in
+  Array.iter (fun (mid, v) -> Hashtbl.replace pop_tbl mid v) (Series.sums t.pop_integral);
+  Series.sums (List.assq cls t.sends)
+  |> Array.to_list
+  |> List.filter_map (fun (mid, v) ->
+         match Hashtbl.find_opt pop_tbl mid with
+         | Some ns when ns > 0.0 -> Some (mid, v /. ns)
+         | Some _ | None -> None)
+  |> Array.of_list
+
+let join_latencies t = Array.of_list !(t.join_lat)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>lookups: sent=%d delivered=%d lost=%d (loss=%.2e) incorrect=%d (%.2e)@,\
+     rdp=%.2f delay=%.1fms hops=%.2f@,\
+     control=%.3f msg/s/node (pop=%.0f), joins=%d (mean latency %.1fs)@]"
+    s.lookups_sent s.lookups_delivered s.lookups_lost s.loss_rate s.incorrect_deliveries
+    s.incorrect_rate s.rdp_mean (s.delay_mean *. 1000.0) s.hops_mean
+    s.control_per_node_per_s s.mean_population s.joins s.join_latency_mean

@@ -1,0 +1,75 @@
+(** Evaluation metrics (§5.2).
+
+    The collector is fed by the harness: every network send (classified
+    per {!Mspastry.Message.traffic_class}), population changes, lookup
+    lifecycles, and join latencies. It reports
+    - {b incorrect delivery rate}: lookups delivered by a non-root node;
+    - {b lookup loss rate}: lookups never delivered at all;
+    - {b RDP}: overlay delay over direct network delay;
+    - {b control traffic}: control messages per second per active node,
+      with the Fig 4 per-class breakdown;
+    all both as whole-run aggregates and as windowed time series. *)
+
+type t
+
+val create : ?window:float -> unit -> t
+(** [window] defaults to 600 s (the paper's 10-minute averaging). *)
+
+val record_send : t -> time:float -> Mspastry.Message.traffic_class -> unit
+
+val set_population : t -> time:float -> int -> unit
+(** Report the current number of active nodes whenever it changes. *)
+
+val flush : t -> time:float -> unit
+(** Credit population-time up to [time]. Call before reading the series
+    of a run whose population did not change near the end — windows with
+    no change would otherwise be missing from per-node normalisation. *)
+
+val lookup_sent : t -> seq:int -> time:float -> unit
+
+val lookup_delivered :
+  t -> seq:int -> time:float -> correct:bool -> direct_delay:float -> hops:int -> unit
+(** [direct_delay] is the network delay from the lookup's origin to the
+    node that delivered it (RDP denominator). Duplicate deliveries of the
+    same sequence number only count once for delay statistics, but an
+    incorrect duplicate still counts as an inconsistency. *)
+
+val join_recorded : t -> latency:float -> unit
+
+type summary = {
+  lookups_sent : int;
+  lookups_delivered : int;  (** at least once *)
+  lookups_lost : int;
+  incorrect_deliveries : int;
+  loss_rate : float;
+  incorrect_rate : float;
+  rdp_mean : float;
+  delay_mean : float;
+  hops_mean : float;
+  control_msgs : float;  (** control messages in the interval *)
+  control_per_node_per_s : float;
+  control_by_class : (Mspastry.Message.traffic_class * float) list;
+      (** per-class messages per second per node *)
+  lookup_msgs : float;
+  mean_population : float;
+  joins : int;
+  join_latency_mean : float;
+}
+
+val summary : ?since:float -> ?until:float -> ?drain:float -> t -> summary
+(** Aggregate over [\[since, until\]] (defaults: whole run). Lookups sent
+    within [drain] seconds of [until] (default 30 s) are excluded from
+    loss accounting — they may still legitimately be in flight. *)
+
+val rdp_series : t -> (float * float) array
+(** Windowed mean RDP over time. *)
+
+val control_series : t -> (float * float) array
+(** Windowed control messages per second per active node. *)
+
+val control_series_by_class :
+  t -> Mspastry.Message.traffic_class -> (float * float) array
+
+val population_series : t -> (float * float) array
+val join_latencies : t -> float array
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,57 @@
+(** MSPastry protocol parameters and feature toggles.
+
+    {!default} is the paper's base configuration (§5.1): [b = 4], [l = 32],
+    [Tls = 30 s], per-hop acks on, routing-table probing self-tuned to a
+    raw loss rate of 5%, probe suppression and symmetric distance probes
+    on. The toggles exist so the ablation experiments (§5.3) can switch
+    individual techniques off. *)
+
+type t = {
+  b : int;  (** digits are base 2^b (paper: 4) *)
+  l : int;  (** leaf set size, l/2 per side (paper: 32) *)
+  t_ls : float;  (** leaf-set heartbeat period Tls, seconds (30) *)
+  t_out : float;  (** probe timeout To, seconds (3 — TCP SYN timeout) *)
+  max_probe_retries : int;  (** probe retries before declaring failure (2) *)
+  per_hop_acks : bool;  (** §3.2 per-hop acknowledgements *)
+  active_probing : bool;  (** §3.2 routing-table liveness probes *)
+  self_tuning : bool;  (** §4.1 tune Trt from estimated N and µ *)
+  lr_target : float;  (** target raw loss rate for self-tuning (0.05) *)
+  t_rt_fixed : float;  (** Trt when self-tuning is off (seconds) *)
+  t_rt_max : float;  (** upper clamp for the self-tuned Trt *)
+  probe_suppression : bool;  (** §4.1 any traffic replaces failure probes *)
+  symmetric_probes : bool;  (** §4.2 share measured RTTs with the peer *)
+  exploit_structure : bool;
+      (** §4.1 heartbeat only to the left ring neighbour; when off, every
+          leaf-set member is probed every [t_ls] (the pre-MSPastry
+          baseline) *)
+  rt_maintenance_period : float;  (** periodic routing-table gossip (1200 s) *)
+  distance_probe_count : int;  (** RTT samples per distance estimate (3) *)
+  distance_probe_spacing : float;  (** seconds between samples (1) *)
+  max_concurrent_distance_probes : int;
+  hop_rto_initial : float;  (** per-hop RTO before any RTT sample *)
+  hop_rto_min : float;  (** aggressive floor for per-hop retransmits *)
+  hop_rto_max : float;
+  max_hop_reroutes : int;  (** reroute budget before a hop gives up *)
+  root_retries : int;
+      (** §3.2's consistency/latency dial for the last hop. When the
+          key's root misses an ack, the message is retransmitted straight
+          to it with growing backoff this many times (recovering lost
+          acks) before the next-closest node delivers in its stead.
+          [0] = the paper's latency-first variant (deliver at the
+          alternative immediately); large values approach
+          never-deliver-until-the-root-is-declared-faulty. Default 4. *)
+  exclusion_period : float;
+      (** how long a non-acking peer stays excluded from routing if the
+          liveness probe remains unresolved *)
+  join_retry_period : float;
+  max_join_retries : int;
+  tuning_refresh_period : float;  (** how often Trt is recomputed *)
+  repair_delay : float;  (** damping delay before leaf-set repair probes *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** Sanity-check parameter ranges (used by tests and the CLI). *)
+
+val pp : Format.formatter -> t -> unit

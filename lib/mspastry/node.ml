@@ -1,0 +1,1121 @@
+open Pastry
+module M = Message
+module Rng = Repro_util.Rng
+
+type forward_decision = Continue | Absorb
+
+type env = {
+  now : unit -> float;
+  send : dst:int -> Message.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> Simkit.Engine.event_id;
+  cancel : Simkit.Engine.event_id -> unit;
+  rng : Rng.t;
+  deliver : Message.lookup -> unit;
+  forward : prev:Peer.t option -> Message.lookup -> forward_decision;
+  on_active : unit -> unit;
+  on_join_failed : unit -> unit;
+  on_lookup_drop : Message.lookup -> unit;
+}
+
+type probe_state = {
+  p_peer : Peer.t;
+  mutable p_retries : int;
+  mutable p_timer : Simkit.Engine.event_id option;
+}
+
+type dprobe = {
+  d_target : Peer.t;
+  d_total : int;
+  d_announce : bool;
+  d_on_done : float option -> unit;
+  mutable d_samples : float list;
+  d_sent_at : (int, float) Hashtbl.t; (* probe_seq -> send time *)
+  mutable d_finish : Simkit.Engine.event_id option;
+}
+
+type pending_hop = {
+  h_payload : M.payload;
+  h_key : Nodeid.t;
+  h_dst : Peer.t;
+  h_sent_at : float;
+  h_reroutes : int;
+  mutable h_timer : Simkit.Engine.event_id option;
+}
+
+type nn_state = {
+  mutable nn_outstanding : int;
+  mutable nn_best : Peer.t option;
+  mutable nn_best_rtt : float;
+  mutable nn_rounds : int;
+  mutable nn_fallback : Peer.t option; (* reply sender, used if all probes fail *)
+}
+
+type buffered = { bf_payload : M.payload; bf_key : Nodeid.t; mutable bf_attempts : int }
+
+type t = {
+  cfg : Config.t;
+  env : env;
+  me : Peer.t;
+  mutable active : bool;
+  mutable alive : bool;
+  mutable was_active : bool;
+  leafset : Leafset.t;
+  table : Routing_table.t;
+  ls_probes : (Nodeid.t, probe_state) Hashtbl.t;
+  rt_probes : (Nodeid.t, probe_state) Hashtbl.t;
+  failed : (Nodeid.t, unit) Hashtbl.t;
+  last_heard : (Nodeid.t, float) Hashtbl.t;
+  last_sent : (Nodeid.t, float) Hashtbl.t;
+  rtos : (Nodeid.t, Rto.t) Hashtbl.t;
+  excluded : (Nodeid.t, float) Hashtbl.t; (* id -> exclusion expiry *)
+  pending : (int, pending_hop) Hashtbl.t;
+  mutable next_hop_id : int;
+  dprobes : (Nodeid.t, dprobe) Hashtbl.t;
+  last_measured : (Nodeid.t, float) Hashtbl.t;
+  last_rt_probe : (Nodeid.t, float) Hashtbl.t;
+  dprobe_by_seq : (int, dprobe) Hashtbl.t;
+  mutable next_dprobe_seq : int;
+  dprobe_queue : (unit -> unit) Queue.t;
+  mutable dprobes_running : int;
+  tuning : Tuning.t;
+  mutable trt : float;
+  mutable local_trt : float;
+  mutable nn : nn_state option;
+  mutable join_reply_seen : bool;
+  mutable join_retries : int;
+  mutable join_timer : Simkit.Engine.event_id option;
+  mutable bootstrap_addr : int;
+  mutable buffer : buffered list;
+  mutable repair_scheduled : bool;
+  mutable prev_right : Nodeid.t option;
+  mutable right_since : float;
+}
+
+let create ~cfg ~env ~id ~addr =
+  (match Config.validate cfg with Ok () -> () | Error e -> invalid_arg ("Node.create: " ^ e));
+  let me = Peer.make id addr in
+  {
+    cfg;
+    env;
+    me;
+    active = false;
+    alive = true;
+    was_active = false;
+    leafset = Leafset.create ~l:cfg.l ~me;
+    table = Routing_table.create ~b:cfg.b ~me:id;
+    ls_probes = Hashtbl.create 16;
+    rt_probes = Hashtbl.create 16;
+    failed = Hashtbl.create 16;
+    last_heard = Hashtbl.create 64;
+    last_sent = Hashtbl.create 64;
+    rtos = Hashtbl.create 64;
+    excluded = Hashtbl.create 8;
+    pending = Hashtbl.create 16;
+    next_hop_id = 0;
+    dprobes = Hashtbl.create 16;
+    last_measured = Hashtbl.create 64;
+    last_rt_probe = Hashtbl.create 64;
+    dprobe_by_seq = Hashtbl.create 16;
+    next_dprobe_seq = 0;
+    dprobe_queue = Queue.create ();
+    dprobes_running = 0;
+    tuning = Tuning.create cfg ~now:(env.now ());
+    trt = (if cfg.self_tuning then cfg.t_rt_max else cfg.t_rt_fixed);
+    local_trt = (if cfg.self_tuning then cfg.t_rt_max else cfg.t_rt_fixed);
+    nn = None;
+    join_reply_seen = false;
+    join_retries = 0;
+    join_timer = None;
+    bootstrap_addr = -1;
+    buffer = [];
+    repair_scheduled = false;
+    prev_right = None;
+    right_since = 0.0;
+  }
+
+let me t = t.me
+let config t = t.cfg
+let is_active t = t.active
+let is_alive t = t.alive
+let leafset t = t.leafset
+let table t = t.table
+let current_trt t = t.trt
+
+let now t = t.env.now ()
+
+let m_unique t =
+  let ids = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace ids p.Peer.id ()) (Leafset.members t.leafset);
+  List.iter (fun p -> Hashtbl.replace ids p.Peer.id ()) (Routing_table.peers t.table);
+  Hashtbl.length ids
+
+let estimated_n t = Tuning.estimate_n t.leafset
+let estimated_mu t = Tuning.estimate_mu t.tuning ~m:(m_unique t) ~now:(now t)
+let failed_set t = Hashtbl.fold (fun id () acc -> id :: acc) t.failed []
+let pending_probes t = Hashtbl.length t.ls_probes + Hashtbl.length t.rt_probes
+let pending_hops t = Hashtbl.length t.pending
+
+let rto_of t id =
+  match Hashtbl.find_opt t.rtos id with
+  | Some r -> r
+  | None ->
+      let r =
+        Rto.create ~initial:t.cfg.hop_rto_initial ~min:t.cfg.hop_rto_min
+          ~max:t.cfg.hop_rto_max
+      in
+      Hashtbl.add t.rtos id r;
+      r
+
+let send_msg ?hop t (dst : Peer.t) payload =
+  Hashtbl.replace t.last_sent dst.Peer.id (now t);
+  t.env.send ~dst:dst.Peer.addr (M.make ?hop ~sender:t.me payload)
+
+let is_excluded t id =
+  (match Hashtbl.find_opt t.excluded id with
+  | Some expiry when expiry > now t -> true
+  | Some _ ->
+      Hashtbl.remove t.excluded id;
+      false
+  | None -> false)
+  || Hashtbl.mem t.failed id
+
+let cancel_timer t = function Some ev -> t.env.cancel ev | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Distance probing (PNS RTT measurement, §4.2)                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec start_next_dprobe t =
+  if
+    t.alive
+    && t.dprobes_running < t.cfg.max_concurrent_distance_probes
+    && not (Queue.is_empty t.dprobe_queue)
+  then begin
+    let thunk = Queue.pop t.dprobe_queue in
+    thunk ();
+    start_next_dprobe t
+  end
+
+and finish_dprobe t d =
+  cancel_timer t d.d_finish;
+  Hashtbl.remove t.dprobes d.d_target.Peer.id;
+  Hashtbl.iter (fun seq _ -> Hashtbl.remove t.dprobe_by_seq seq) d.d_sent_at;
+  t.dprobes_running <- t.dprobes_running - 1;
+  let result =
+    match d.d_samples with
+    | [] -> None
+    | samples -> Some (Repro_util.Stats.median (Array.of_list samples))
+  in
+  (match result with
+  | Some rtt when d.d_announce && t.cfg.symmetric_probes ->
+      send_msg t d.d_target (M.Rtt_report { rtt })
+  | Some _ | None -> ());
+  d.d_on_done result;
+  start_next_dprobe t
+
+and launch_dprobe t target ~total ~announce ~on_done =
+  let d =
+    {
+      d_target = target;
+      d_total = total;
+      d_announce = announce;
+      d_on_done = on_done;
+      d_samples = [];
+      d_sent_at = Hashtbl.create 4;
+      d_finish = None;
+    }
+  in
+  Hashtbl.replace t.dprobes target.Peer.id d;
+  t.dprobes_running <- t.dprobes_running + 1;
+  let send_sample () =
+    if t.alive then begin
+      let seq = t.next_dprobe_seq in
+      t.next_dprobe_seq <- seq + 1;
+      Hashtbl.replace d.d_sent_at seq (now t);
+      Hashtbl.replace t.dprobe_by_seq seq d;
+      send_msg t target (M.Distance_probe { probe_seq = seq })
+    end
+  in
+  send_sample ();
+  for k = 1 to total - 1 do
+    ignore
+      (t.env.schedule ~delay:(float_of_int k *. t.cfg.distance_probe_spacing) send_sample)
+  done;
+  let finish_at = (float_of_int (total - 1) *. t.cfg.distance_probe_spacing) +. t.cfg.t_out in
+  d.d_finish <- Some (t.env.schedule ~delay:finish_at (fun () -> if t.alive then finish_dprobe t d))
+
+and request_dprobe t target ~total ~announce ~on_done =
+  if Nodeid.equal target.Peer.id t.me.Peer.id then on_done None
+  else if Hashtbl.mem t.dprobes target.Peer.id then on_done None
+  else begin
+    let start () =
+      if Hashtbl.mem t.dprobes target.Peer.id then on_done None
+      else launch_dprobe t target ~total ~announce ~on_done
+    in
+    if t.dprobes_running < t.cfg.max_concurrent_distance_probes then start ()
+    else Queue.push start t.dprobe_queue
+  end
+
+(* Measure a routing-table candidate and install it under PNS rules.
+   [fill_only] restricts probing to cases that add information (empty
+   slot, or an installed-but-unmeasured entry); gossip contexts pass
+   [fill_only:false] so closer candidates can displace occupants. A memo
+   bounds how often any one peer is re-measured. *)
+and maybe_measure ?(fill_only = false) t target ~announce =
+  if not (Nodeid.equal target.Peer.id t.me.Peer.id) then begin
+    let needed =
+      match Routing_table.find t.table target.Peer.id with
+      | Some e -> not (Float.is_finite e.Routing_table.rtt)
+      | None -> (
+          match Routing_table.slot_of t.table target.Peer.id with
+          | None -> false
+          | Some (r, c) -> (
+              match Routing_table.get t.table r c with
+              | None -> true
+              | Some _ -> not fill_only))
+    in
+    let recently =
+      match Hashtbl.find_opt t.last_measured target.Peer.id with
+      | Some ts -> now t -. ts < t.cfg.rt_maintenance_period /. 2.0
+      | None -> false
+    in
+    if needed && (not recently) && not (Hashtbl.mem t.failed target.Peer.id) then begin
+      Hashtbl.replace t.last_measured target.Peer.id (now t);
+      request_dprobe t target ~total:t.cfg.distance_probe_count ~announce
+        ~on_done:(fun result ->
+          match result with
+          | Some rtt -> ignore (Routing_table.consider t.table target ~rtt)
+          | None -> ())
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Leaf-set probing and repair (Fig 2)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let leaf_members_payload t = Leafset.members t.leafset
+let failed_payload t = Hashtbl.fold (fun id () acc -> id :: acc) t.failed []
+
+let rec probe t (j : Peer.t) =
+  if
+    (not (Nodeid.equal j.Peer.id t.me.Peer.id))
+    && (not (Hashtbl.mem t.ls_probes j.Peer.id))
+    && not (Hashtbl.mem t.failed j.Peer.id)
+  then begin
+    let st = { p_peer = j; p_retries = 0; p_timer = None } in
+    Hashtbl.replace t.ls_probes j.Peer.id st;
+    send_ls_probe t st
+  end
+
+and send_ls_probe t st =
+  send_msg t st.p_peer
+    (M.Ls_probe { leaf = leaf_members_payload t; failed = failed_payload t; trt = t.local_trt });
+  st.p_timer <-
+    Some
+      (t.env.schedule ~delay:t.cfg.t_out (fun () -> if t.alive then probe_timeout t st))
+
+and probe_timeout t st =
+  if Hashtbl.mem t.ls_probes st.p_peer.Peer.id then begin
+    if st.p_retries < t.cfg.max_probe_retries then begin
+      st.p_retries <- st.p_retries + 1;
+      send_ls_probe t st
+    end
+    else begin
+      let j = st.p_peer in
+      let was_member = Leafset.mem t.leafset j.Peer.id in
+      ignore (Leafset.remove t.leafset j.Peer.id);
+      ignore (Routing_table.remove t.table j.Peer.id);
+      Trace_log.Log.debug (fun m -> m "%a: leaf %a marked faulty" Peer.pp t.me Peer.pp j);
+      Hashtbl.replace t.failed j.Peer.id ();
+      Tuning.record_failure t.tuning ~now:(now t);
+      Hashtbl.remove t.ls_probes j.Peer.id;
+      (* §4.1: announce a confirmed leaf-set failure to the other members,
+         which both informs them and solicits replacement candidates *)
+      if was_member && t.active then
+        List.iter (fun m -> probe t m) (Leafset.members t.leafset);
+      done_probing t
+    end
+  end
+
+and done_probing t =
+  if Hashtbl.length t.ls_probes = 0 then begin
+    if Leafset.complete t.leafset then begin
+      Hashtbl.reset t.failed;
+      if not t.active then activate t
+    end
+    else schedule_repair t
+  end
+
+and schedule_repair t =
+  if not t.repair_scheduled then begin
+    t.repair_scheduled <- true;
+    ignore
+      (t.env.schedule ~delay:t.cfg.repair_delay (fun () ->
+           t.repair_scheduled <- false;
+           if t.alive then repair t))
+  end
+
+and repair t =
+  if Hashtbl.length t.ls_probes = 0 && not (Leafset.complete t.leafset) then begin
+    let half = t.cfg.l / 2 in
+    (* sides that still have members: iterate outwards (Fig 2) *)
+    (match Leafset.leftmost t.leafset with
+    | Some lm when Leafset.left_size t.leafset < half -> probe t lm
+    | Some _ | None -> ());
+    (match Leafset.rightmost t.leafset with
+    | Some rm when Leafset.right_size t.leafset < half -> probe t rm
+    | Some _ | None -> ());
+    (* generalized repair: an empty side is reseeded from the routing
+       table (converges in O(log N) rounds after mass failures) *)
+    let known () =
+      Routing_table.peers t.table @ Leafset.members t.leafset
+      |> List.filter (fun p ->
+             (not (Nodeid.equal p.Peer.id t.me.Peer.id))
+             && not (Hashtbl.mem t.failed p.Peer.id))
+    in
+    if Leafset.left_size t.leafset = 0 then begin
+      let best =
+        List.fold_left
+          (fun acc p ->
+            let d = Nodeid.cw_dist p.Peer.id t.me.Peer.id in
+            match acc with
+            | Some (_, bd) when Nodeid.compare bd d <= 0 -> acc
+            | _ -> Some (p, d))
+          None (known ())
+      in
+      match best with
+      | Some (p, _) -> send_msg t p (M.Repair_request { left_side = true })
+      | None -> ()
+    end;
+    if Leafset.right_size t.leafset = 0 then begin
+      let best =
+        List.fold_left
+          (fun acc p ->
+            let d = Nodeid.cw_dist t.me.Peer.id p.Peer.id in
+            match acc with
+            | Some (_, bd) when Nodeid.compare bd d <= 0 -> acc
+            | _ -> Some (p, d))
+          None (known ())
+      in
+      match best with
+      | Some (p, _) -> send_msg t p (M.Repair_request { left_side = false })
+      | None -> ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Routing-table liveness probing (§3.2)                                *)
+(* ------------------------------------------------------------------ *)
+
+and rt_probe t (j : Peer.t) =
+  if
+    (not (Nodeid.equal j.Peer.id t.me.Peer.id))
+    && (not (Hashtbl.mem t.rt_probes j.Peer.id))
+    && (not (Hashtbl.mem t.ls_probes j.Peer.id))
+    && not (Hashtbl.mem t.failed j.Peer.id)
+  then begin
+    let st = { p_peer = j; p_retries = 0; p_timer = None } in
+    Hashtbl.replace t.rt_probes j.Peer.id st;
+    send_rt_probe t st
+  end
+
+and send_rt_probe t st =
+  send_msg t st.p_peer M.Rt_probe;
+  st.p_timer <-
+    Some
+      (t.env.schedule ~delay:t.cfg.t_out (fun () -> if t.alive then rt_probe_timeout t st))
+
+and rt_probe_timeout t st =
+  if Hashtbl.mem t.rt_probes st.p_peer.Peer.id then begin
+    if st.p_retries < t.cfg.max_probe_retries then begin
+      st.p_retries <- st.p_retries + 1;
+      send_rt_probe t st
+    end
+    else begin
+      let j = st.p_peer in
+      Hashtbl.remove t.rt_probes j.Peer.id;
+      ignore (Routing_table.remove t.table j.Peer.id);
+      Hashtbl.replace t.failed j.Peer.id ();
+      Tuning.record_failure t.tuning ~now:(now t);
+      (* repair is lazy: periodic maintenance and passive repair refill
+         the slot *)
+      if Leafset.mem t.leafset j.Peer.id then begin
+        (* it was also a leaf — escalate to the leaf-set machinery *)
+        Hashtbl.remove t.failed j.Peer.id;
+        probe t j
+      end
+    end
+  end
+
+(* a direct message from [id] is proof of liveness: resolve suspicion *)
+and note_alive t id =
+  Hashtbl.replace t.last_heard id (now t);
+  Hashtbl.remove t.excluded id;
+  Hashtbl.remove t.failed id;
+  match Hashtbl.find_opt t.rt_probes id with
+  | Some st ->
+      cancel_timer t st.p_timer;
+      Hashtbl.remove t.rt_probes id
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Routed messages, per-hop acks (§3.2)                                 *)
+(* ------------------------------------------------------------------ *)
+
+and routed_excluded t id = is_excluded t id
+
+and send_routed t (next : Peer.t) payload ~key ~reroutes =
+  let wants_acks =
+    t.cfg.per_hop_acks
+    && match payload with M.Lookup l -> l.M.reliable | _ -> true
+  in
+  if wants_acks then begin
+    let hop_id = t.next_hop_id in
+    t.next_hop_id <- hop_id + 1;
+    let ph =
+      {
+        h_payload = payload;
+        h_key = key;
+        h_dst = next;
+        h_sent_at = now t;
+        h_reroutes = reroutes;
+        h_timer = None;
+      }
+    in
+    Hashtbl.replace t.pending hop_id ph;
+    let rto = Rto.timeout (rto_of t next.Peer.id) in
+    ph.h_timer <-
+      Some (t.env.schedule ~delay:rto (fun () -> if t.alive then hop_timeout t hop_id));
+    send_msg ~hop:hop_id t next payload
+  end
+  else send_msg t next payload
+
+and hop_timeout t hop_id =
+  match Hashtbl.find_opt t.pending hop_id with
+  | None -> ()
+  | Some ph ->
+      Hashtbl.remove t.pending hop_id;
+      let j = ph.h_dst in
+      (* temporarily exclude the silent node and check on it; only the
+         probe machinery may declare it faulty *)
+      Hashtbl.replace t.excluded j.Peer.id (now t +. t.cfg.exclusion_period);
+      if Leafset.mem t.leafset j.Peer.id then probe t j else rt_probe t j;
+      if ph.h_reroutes >= t.cfg.max_hop_reroutes then begin
+        match ph.h_payload with
+        | M.Lookup l -> t.env.on_lookup_drop l
+        | _ -> ()
+      end
+      else begin
+        let payload = mark_retx ph.h_payload in
+        route_payload t payload ~key:ph.h_key ~reroutes:(ph.h_reroutes + 1)
+      end
+
+and mark_retx = function
+  | M.Lookup l -> M.Lookup { l with retx = true }
+  | other -> other
+
+and bump_hops = function
+  | M.Lookup l -> M.Lookup { l with hops = l.hops + 1 }
+  | other -> other
+
+(* route a payload from this node: Fig 2's route_i. [prev] is the hop a
+   routed message arrived from (None at the origin or on local retries) —
+   it feeds the common-API forward upcall. *)
+and route_payload ?prev t payload ~key ~reroutes =
+  let decision =
+    match payload with
+    | M.Lookup l -> t.env.forward ~prev l
+    | _ -> Continue
+  in
+  match decision with
+  | Absorb -> ()
+  | Continue -> (
+  match
+    Route.next_hop ~excluded:(routed_excluded t) ~leafset:t.leafset ~table:t.table ~key ()
+  with
+  | Route.Deliver -> receive_root t payload ~key ~reroutes
+  | Route.Forward next ->
+      (* passive routing-table repair: if our own slot for this key is
+         empty, ask the next hop for its entry *)
+      (match Route.empty_slot_on_path ~leafset:t.leafset ~table:t.table ~key with
+      | Some (row, col) when t.active -> send_msg t next (M.Slot_request { row; col })
+      | Some _ | None -> ());
+      send_routed t next (bump_hops payload) ~key ~reroutes)
+
+and receive_root t payload ~key ~reroutes =
+  match payload with
+  | M.Lookup l ->
+      (* consistency guard: per-hop-ack exclusions steer *forwarding* but
+         must never make us deliver a key whose root (per the unexcluded
+         leaf set) is someone else — a lost ack would otherwise cause an
+         inconsistent delivery. Retry shortly: either the excluded root
+         answers its liveness probe (and the retry reaches it), or it is
+         declared faulty and evicted, making us the genuine root. *)
+      let owner = Leafset.closest t.leafset key in
+      if
+        (not (Nodeid.equal owner.Peer.id t.me.Peer.id))
+        && reroutes <= t.cfg.root_retries
+        && reroutes < t.cfg.max_hop_reroutes
+      then begin
+        (* the leaf set still names someone else as the root: bypass the
+           exclusion and retransmit straight to it with growing backoff —
+           a lost ack recovers in one extra round-trip. Only after
+           [root_retries] attempts does the local node deliver in the
+           root's stead (§3.2's consistency/latency dial). *)
+        let backoff = 0.5 *. float_of_int reroutes in
+        ignore
+          (t.env.schedule ~delay:backoff (fun () ->
+               if t.alive then begin
+                 let owner' = Leafset.closest t.leafset key in
+                 if Nodeid.equal owner'.Peer.id t.me.Peer.id then
+                   receive_root t payload ~key ~reroutes:(reroutes + 1)
+                 else
+                   send_routed t owner' (mark_retx payload) ~key
+                     ~reroutes:(reroutes + 1)
+               end))
+      end
+      else begin
+        let sides_ok =
+          Leafset.left_size t.leafset = 0 = (Leafset.right_size t.leafset = 0)
+        in
+        if t.active && sides_ok then t.env.deliver l else push_buffer t payload ~key
+      end
+  | M.Join_request { joiner; rows } ->
+      if Nodeid.equal joiner.Peer.id t.me.Peer.id then ()
+      else if t.active then begin
+        let rows = own_rows_from t (Nodeid.shared_prefix_length ~b:t.cfg.b t.me.Peer.id joiner.Peer.id) @ rows in
+        let leaf = t.me :: leaf_members_payload t in
+        send_msg t joiner (M.Join_reply { rows; leaf })
+      end
+      else push_buffer t payload ~key
+  | _ -> ()
+
+and own_rows_from t r0 =
+  let rows = Routing_table.rows t.table in
+  let acc = ref [] in
+  for r = rows - 1 downto r0 do
+    let entries =
+      Routing_table.row_entries t.table r
+      |> List.map (fun e -> (e.Routing_table.peer, e.Routing_table.rtt))
+    in
+    if entries <> [] then acc := (r, entries) :: !acc
+  done;
+  !acc
+
+and push_buffer t payload ~key =
+  if List.length t.buffer >= 1000 then begin
+    (* drop the oldest entry (tail of the newest-first list) *)
+    match List.rev t.buffer with
+    | { bf_payload = M.Lookup l; _ } :: rest ->
+        t.env.on_lookup_drop l;
+        t.buffer <- List.rev rest
+    | _ :: rest -> t.buffer <- List.rev rest
+    | [] -> ()
+  end;
+  (* newest first; flush reverses to preserve arrival order *)
+  t.buffer <- { bf_payload = payload; bf_key = key; bf_attempts = 0 } :: t.buffer
+
+and flush_buffer t =
+  if t.active && t.buffer <> [] then begin
+    let entries = List.rev t.buffer in
+    t.buffer <- [];
+    List.iter
+      (fun e ->
+        e.bf_attempts <- e.bf_attempts + 1;
+        if e.bf_attempts > 60 then begin
+          match e.bf_payload with
+          | M.Lookup l -> t.env.on_lookup_drop l
+          | _ -> ()
+        end
+        else route_payload t e.bf_payload ~key:e.bf_key ~reroutes:0)
+      entries;
+    if t.buffer <> [] then
+      ignore (t.env.schedule ~delay:1.0 (fun () -> if t.alive then flush_buffer t))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Activation and periodic maintenance                                  *)
+(* ------------------------------------------------------------------ *)
+
+and activate t =
+  if not t.active then begin
+    Trace_log.Log.debug (fun m ->
+        m "%a: active (leafset %d members)" Peer.pp t.me (Leafset.size t.leafset));
+    t.active <- true;
+    (match t.join_timer with
+    | Some ev ->
+        t.env.cancel ev;
+        t.join_timer <- None
+    | None -> ());
+    Hashtbl.reset t.failed;
+    if not t.was_active then begin
+      t.was_active <- true;
+      t.env.on_active ();
+      announce_rows t;
+      start_periodics t
+    end;
+    flush_buffer t
+  end
+
+and announce_rows t =
+  (* §2: after initializing its table, the joiner sends row r to every
+     node in that row (announcing itself and gossiping the row) *)
+  for r = 0 to Routing_table.rows t.table - 1 do
+    let entries = Routing_table.row_entries t.table r in
+    if entries <> [] then begin
+      let payload_entries =
+        List.map (fun e -> (e.Routing_table.peer, e.Routing_table.rtt)) entries
+      in
+      List.iter
+        (fun e -> send_msg t e.Routing_table.peer (M.Row_announce { row = r; entries = payload_entries }))
+        entries
+    end
+  done
+
+and start_periodics t =
+  let jitter p = Rng.float t.env.rng p in
+  (* leaf-set heartbeats *)
+  let rec hb_tick () =
+    if t.alive then begin
+      if t.active then heartbeat_round t;
+      ignore (t.env.schedule ~delay:t.cfg.t_ls (fun () -> hb_tick ()))
+    end
+  in
+  ignore (t.env.schedule ~delay:(jitter t.cfg.t_ls) (fun () -> hb_tick ()));
+  (* routing-table liveness probing: each entry is probed every Trt
+     seconds; the scan itself runs more often so that a freshly lowered
+     Trt takes effect promptly *)
+  if t.cfg.active_probing then begin
+    let scan_period () = Float.max 1.0 (Float.min 60.0 (t.trt /. 4.0)) in
+    let rec rt_tick () =
+      if t.alive then begin
+        if t.active then rt_probe_round t;
+        ignore (t.env.schedule ~delay:(scan_period ()) (fun () -> rt_tick ()))
+      end
+    in
+    ignore (t.env.schedule ~delay:(jitter (scan_period ())) (fun () -> rt_tick ()))
+  end;
+  (* periodic routing-table maintenance gossip *)
+  let rec maint_tick () =
+    if t.alive then begin
+      if t.active then maintenance_round t;
+      ignore (t.env.schedule ~delay:t.cfg.rt_maintenance_period (fun () -> maint_tick ()))
+    end
+  in
+  ignore (t.env.schedule ~delay:(jitter t.cfg.rt_maintenance_period) (fun () -> maint_tick ()));
+  (* self-tuning refresh *)
+  if t.cfg.self_tuning then begin
+    let rec tune_tick () =
+      if t.alive then begin
+        if t.active then begin
+          let m = m_unique t in
+          t.local_trt <- Tuning.local_trt t.tuning ~leafset:t.leafset ~m ~now:(now t);
+          t.trt <- Tuning.current_trt t.tuning ~leafset:t.leafset ~m ~now:(now t)
+        end;
+        ignore (t.env.schedule ~delay:t.cfg.tuning_refresh_period (fun () -> tune_tick ()))
+      end
+    in
+    ignore (t.env.schedule ~delay:(jitter t.cfg.tuning_refresh_period) (fun () -> tune_tick ()))
+  end
+
+and heartbeat_round t =
+  let n = now t in
+  if t.cfg.exploit_structure then begin
+    (* single heartbeat to the left ring neighbour (§4.1) *)
+    (match Leafset.left_neighbor t.leafset with
+    | Some ln ->
+        let fresh =
+          t.cfg.probe_suppression
+          &&
+          match Hashtbl.find_opt t.last_sent ln.Peer.id with
+          | Some ts -> n -. ts < t.cfg.t_ls
+          | None -> false
+        in
+        if not fresh then send_msg t ln M.Heartbeat
+    | None -> ());
+    (* watch the right neighbour *)
+    match Leafset.right_neighbor t.leafset with
+    | Some rn ->
+        let changed =
+          match t.prev_right with
+          | Some id -> not (Nodeid.equal id rn.Peer.id)
+          | None -> true
+        in
+        if changed then begin
+          t.prev_right <- Some rn.Peer.id;
+          t.right_since <- n
+        end;
+        let last =
+          Float.max t.right_since
+            (match Hashtbl.find_opt t.last_heard rn.Peer.id with Some v -> v | None -> 0.0)
+        in
+        if n -. last > t.cfg.t_ls +. t.cfg.t_out then probe t rn
+    | None -> ()
+  end
+  else
+    (* baseline: probe every leaf-set member each period *)
+    List.iter
+      (fun m ->
+        let fresh =
+          t.cfg.probe_suppression
+          &&
+          match Hashtbl.find_opt t.last_heard m.Peer.id with
+          | Some ts -> n -. ts < t.cfg.t_ls
+          | None -> false
+        in
+        if not fresh then probe t m)
+      (Leafset.members t.leafset)
+
+and rt_probe_round t =
+  let n = now t in
+  List.iter
+    (fun (e : Routing_table.entry) ->
+      let j = e.Routing_table.peer in
+      let fresh =
+        t.cfg.probe_suppression
+        &&
+        match Hashtbl.find_opt t.last_heard j.Peer.id with
+        | Some ts -> n -. ts < t.trt
+        | None -> false
+      in
+      let recently_probed =
+        match Hashtbl.find_opt t.last_rt_probe j.Peer.id with
+        | Some ts -> n -. ts < t.trt
+        | None -> false
+      in
+      if (not fresh) && not recently_probed then begin
+        Hashtbl.replace t.last_rt_probe j.Peer.id n;
+        rt_probe t j
+      end)
+    (Routing_table.entries t.table)
+
+and maintenance_round t =
+  (* ask one node per row for its matching row; probe unknown entries *)
+  for r = 0 to Routing_table.rows t.table - 1 do
+    match Routing_table.row_entries t.table r with
+    | [] -> ()
+    | entries ->
+        let arr = Array.of_list entries in
+        let e = Rng.pick t.env.rng arr in
+        send_msg t e.Routing_table.peer (M.Row_request { row = r })
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Join (§2, Fig 2)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+and bootstrap t =
+  if not t.was_active then activate t
+
+and join t ~bootstrap_addr =
+  t.bootstrap_addr <- bootstrap_addr;
+  start_join_attempt t
+
+and start_join_attempt t =
+  if t.alive && not t.active then begin
+    t.nn <-
+      Some
+        {
+          nn_outstanding = 0;
+          nn_best = None;
+          nn_best_rtt = infinity;
+          nn_rounds = 0;
+          nn_fallback = None;
+        };
+    t.join_reply_seen <- false;
+    (* the bootstrap address is all we know; its id arrives in the reply *)
+    t.env.send ~dst:t.bootstrap_addr (M.make ~sender:t.me M.Nn_request);
+    (match t.join_timer with Some ev -> t.env.cancel ev | None -> ());
+    t.join_timer <-
+      Some
+        (t.env.schedule ~delay:t.cfg.join_retry_period (fun () ->
+             if t.alive && not t.active then begin
+               t.join_retries <- t.join_retries + 1;
+               if t.join_retries > t.cfg.max_join_retries then begin
+                 Trace_log.Log.info (fun m -> m "%a: join failed after %d attempts"
+                     Peer.pp t.me t.join_retries);
+                 t.alive <- false;
+                 t.env.on_join_failed ()
+               end
+               else start_join_attempt t
+             end))
+  end
+
+and nn_probe_done t nn peer result =
+  nn.nn_outstanding <- nn.nn_outstanding - 1;
+  (match result with
+  | Some rtt when rtt < nn.nn_best_rtt ->
+      nn.nn_best <- Some peer;
+      nn.nn_best_rtt <- rtt
+  | Some _ | None -> ());
+  if nn.nn_outstanding <= 0 then nn_round_complete t nn
+
+and nn_round_complete t nn =
+  if t.alive && not t.active && not t.join_reply_seen then begin
+    match (nn.nn_best, nn.nn_fallback) with
+    | None, None -> () (* nothing answered; the join timer retries *)
+    | None, Some seed -> send_join_request t seed
+    | Some best, fallback ->
+        (* greedy descent: recurse into the closest node found, unless we
+           already asked it (no improvement) or rounds are exhausted *)
+        let same_as_asked =
+          match fallback with
+          | Some f -> Nodeid.equal f.Peer.id best.Peer.id
+          | None -> false
+        in
+        if nn.nn_rounds < 3 && not same_as_asked then begin
+          nn.nn_rounds <- nn.nn_rounds + 1;
+          send_msg t best M.Nn_request
+        end
+        else send_join_request t best
+  end
+
+and send_join_request t seed =
+  t.nn <- None;
+  send_msg t seed (M.Join_request { joiner = t.me; rows = [] })
+
+(* ------------------------------------------------------------------ *)
+(* Message dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+and handle t ~src:_ (msg : M.t) =
+  if t.alive then begin
+    let sender = msg.M.sender in
+    note_alive t sender.Peer.id;
+    (match msg.M.hop with
+    | Some hop_id -> send_msg t sender (M.Hop_ack { hop_id })
+    | None -> ());
+    match msg.M.payload with
+    | M.Lookup l -> route_payload ~prev:sender t (M.Lookup l) ~key:l.M.key ~reroutes:0
+    | M.Hop_ack { hop_id } -> handle_hop_ack t hop_id
+    | M.Join_request { joiner; rows } -> handle_join_request t ~sender ~joiner ~rows
+    | M.Join_reply { rows; leaf } -> handle_join_reply t ~rows ~leaf
+    | M.Ls_probe { leaf; failed; trt } ->
+        handle_ls_probe t ~sender ~leaf ~failed ~trt ~is_reply:false
+    | M.Ls_probe_reply { leaf; failed; trt } ->
+        handle_ls_probe t ~sender ~leaf ~failed ~trt ~is_reply:true
+    | M.Heartbeat -> () (* note_alive already recorded it *)
+    | M.Rt_probe -> send_msg t sender (M.Rt_probe_reply { trt = t.local_trt })
+    | M.Rt_probe_reply { trt } -> if t.cfg.self_tuning then Tuning.observe_remote t.tuning trt
+    | M.Distance_probe { probe_seq } ->
+        send_msg t sender (M.Distance_probe_reply { probe_seq })
+    | M.Distance_probe_reply { probe_seq } -> handle_dprobe_reply t probe_seq
+    | M.Rtt_report { rtt } ->
+        (* symmetric PNS: the peer measured us; consider it at that cost *)
+        ignore (Routing_table.consider t.table sender ~rtt)
+    | M.Row_announce { row = _; entries } ->
+        List.iter (fun (p, _) -> maybe_measure t p ~announce:true) entries;
+        if not t.cfg.symmetric_probes then maybe_measure t sender ~announce:false
+    | M.Row_request { row } ->
+        let entries =
+          Routing_table.row_entries t.table row
+          |> List.map (fun e -> (e.Routing_table.peer, e.Routing_table.rtt))
+        in
+        send_msg t sender (M.Row_reply { row; entries })
+    | M.Row_reply { row = _; entries } ->
+        List.iter (fun (p, _) -> maybe_measure t p ~announce:true) entries
+    | M.Slot_request { row; col } ->
+        let entry =
+          match Routing_table.get t.table row col with
+          | Some e -> Some (e.Routing_table.peer, e.Routing_table.rtt)
+          | None -> None
+        in
+        send_msg t sender (M.Slot_reply { row; col; entry })
+    | M.Slot_reply { entry; _ } -> (
+        match entry with
+        | Some (p, _) -> maybe_measure t p ~announce:true
+        | None -> ())
+    | M.Repair_request { left_side = _ } ->
+        let cands =
+          t.me :: (Routing_table.peers t.table @ Leafset.members t.leafset)
+          |> List.sort_uniq (fun a b -> Nodeid.compare a.Peer.id b.Peer.id)
+          |> List.filter (fun p -> not (Nodeid.equal p.Peer.id sender.Peer.id))
+          |> List.sort (fun a b ->
+                 Nodeid.compare
+                   (Nodeid.ring_dist a.Peer.id sender.Peer.id)
+                   (Nodeid.ring_dist b.Peer.id sender.Peer.id))
+        in
+        send_msg t sender
+          (M.Repair_reply { candidates = Repro_util.Listx.take (t.cfg.l + 1) cands })
+    | M.Repair_reply { candidates } ->
+        List.iter
+          (fun p ->
+            if Leafset.would_admit t.leafset p.Peer.id && not (Hashtbl.mem t.failed p.Peer.id)
+            then probe t p)
+          candidates;
+        if Hashtbl.length t.ls_probes = 0 then done_probing t
+    | M.Goodbye ->
+        (* the sender vouches for its own departure: evict immediately and
+           start repair, skipping probe verification *)
+        ignore (Leafset.remove t.leafset sender.Peer.id);
+        ignore (Routing_table.remove t.table sender.Peer.id);
+        Hashtbl.replace t.failed sender.Peer.id ();
+        Tuning.record_failure t.tuning ~now:(now t);
+        if Hashtbl.length t.ls_probes = 0 then done_probing t
+    | M.Nn_request ->
+        send_msg t sender (M.Nn_reply { leaf = leaf_members_payload t })
+    | M.Nn_reply { leaf } -> handle_nn_reply t ~sender ~leaf
+  end
+
+and handle_hop_ack t hop_id =
+  match Hashtbl.find_opt t.pending hop_id with
+  | None -> ()
+  | Some ph ->
+      cancel_timer t ph.h_timer;
+      Hashtbl.remove t.pending hop_id;
+      Rto.observe (rto_of t ph.h_dst.Peer.id) (now t -. ph.h_sent_at)
+
+and handle_dprobe_reply t probe_seq =
+  match Hashtbl.find_opt t.dprobe_by_seq probe_seq with
+  | None -> ()
+  | Some d -> (
+      Hashtbl.remove t.dprobe_by_seq probe_seq;
+      match Hashtbl.find_opt d.d_sent_at probe_seq with
+      | None -> ()
+      | Some sent ->
+          Hashtbl.remove d.d_sent_at probe_seq;
+          d.d_samples <- (now t -. sent) :: d.d_samples;
+          if List.length d.d_samples >= d.d_total then finish_dprobe t d)
+
+and handle_join_request t ~sender:_ ~joiner ~rows =
+  if Nodeid.equal joiner.Peer.id t.me.Peer.id then
+    (* our own request was routed back to us (someone already gossiped our
+       id); the join retry timer will take another attempt *)
+    ()
+  else begin
+    (* contribute our row matching the joiner's prefix, then route on *)
+    let r = Nodeid.shared_prefix_length ~b:t.cfg.b t.me.Peer.id joiner.Peer.id in
+    let entries =
+      if r >= Routing_table.rows t.table then []
+      else
+        Routing_table.row_entries t.table r
+        |> List.map (fun e -> (e.Routing_table.peer, e.Routing_table.rtt))
+    in
+    let rows = if entries = [] then rows else (r, entries) :: rows in
+    route_payload t (M.Join_request { joiner; rows }) ~key:joiner.Peer.id ~reroutes:0
+  end
+
+and handle_join_reply t ~rows ~leaf =
+  if (not t.active) && not t.join_reply_seen then begin
+    t.join_reply_seen <- true;
+    t.nn <- None;
+    (* install the gathered rows; RTTs from other vantage points are not
+       ours, so entries start unmeasured and are probed (§4.2) *)
+    List.iter
+      (fun (_, entries) ->
+        List.iter
+          (fun ((p : Peer.t), _claimed) ->
+            if not (Nodeid.equal p.Peer.id t.me.Peer.id) then begin
+              (match Routing_table.find t.table p.Peer.id with
+              | None -> (
+                  match Routing_table.slot_of t.table p.Peer.id with
+                  | Some (r, c) when Routing_table.get t.table r c = None ->
+                      ignore (Routing_table.set t.table p ~rtt:infinity)
+                  | Some _ | None -> ())
+              | Some _ -> ());
+              maybe_measure t p ~announce:true
+            end)
+          entries)
+      rows;
+    (* Fig 2: add the leaf-set candidates, then probe every member *)
+    List.iter (fun p -> ignore (Leafset.add t.leafset p)) leaf;
+    List.iter (fun p -> maybe_measure ~fill_only:true t p ~announce:true) leaf;
+    let members = Leafset.members t.leafset in
+    if members = [] then
+      (* the root knew nobody: we are the second node; probe the root *)
+      ()
+    else List.iter (fun p -> probe t p) members;
+    if Hashtbl.length t.ls_probes = 0 then done_probing t
+  end
+
+and handle_ls_probe t ~sender ~leaf ~failed ~trt ~is_reply =
+  if t.cfg.self_tuning then Tuning.observe_remote t.tuning trt;
+  (* Fig 2 RECEIVE(LS-PROBE | LS-PROBE-REPLY) *)
+  Hashtbl.remove t.failed sender.Peer.id;
+  ignore (Leafset.add t.leafset sender);
+  maybe_measure ~fill_only:true t sender ~announce:true;
+  (* verify claimed failures of our own members before evicting them *)
+  List.iter
+    (fun id ->
+      if Leafset.mem t.leafset id then begin
+        match
+          List.find_opt (fun p -> Nodeid.equal p.Peer.id id) (Leafset.members t.leafset)
+        with
+        | Some p ->
+            ignore (Leafset.remove t.leafset id);
+            probe t p
+        | None -> ()
+      end)
+    failed;
+  (* candidates from the sender's leaf set: probe before admission (the
+     anti-bounce rule: never insert a node we have not heard from) *)
+  List.iter
+    (fun (p : Peer.t) ->
+      if
+        (not (Hashtbl.mem t.failed p.Peer.id))
+        && (not (Nodeid.equal p.Peer.id t.me.Peer.id))
+        && Leafset.would_admit t.leafset p.Peer.id
+      then probe t p)
+    leaf;
+  if not is_reply then
+    send_msg t sender
+      (M.Ls_probe_reply
+         { leaf = leaf_members_payload t; failed = failed_payload t; trt = t.local_trt })
+  else begin
+    match Hashtbl.find_opt t.ls_probes sender.Peer.id with
+    | Some st ->
+        cancel_timer t st.p_timer;
+        Hashtbl.remove t.ls_probes sender.Peer.id;
+        done_probing t
+    | None -> ()
+  end
+
+and handle_nn_reply t ~sender ~leaf =
+  match t.nn with
+  | None -> ()
+  | Some nn ->
+      (* ignore duplicate replies while a probing round is in flight —
+         resetting the outstanding count mid-round would let the round
+         complete on partial RTT data *)
+      if (not t.join_reply_seen) && nn.nn_outstanding <= 0 then begin
+        nn.nn_fallback <- Some sender;
+        let targets =
+          sender :: leaf
+          |> List.sort_uniq (fun a b -> Nodeid.compare a.Peer.id b.Peer.id)
+          |> List.filter (fun p -> not (Nodeid.equal p.Peer.id t.me.Peer.id))
+        in
+        if targets = [] then send_join_request t sender
+        else begin
+          nn.nn_outstanding <- List.length targets;
+          (* single-sample probes: §4.2's cheap nearest-neighbour mode *)
+          List.iter
+            (fun p ->
+              request_dprobe t p ~total:1 ~announce:false ~on_done:(fun r ->
+                  match t.nn with
+                  | Some nn' when nn' == nn -> nn_probe_done t nn p r
+                  | Some _ | None -> ()))
+            targets
+        end
+      end
+
+and lookup ?(reliable = true) t ~key ~seq =
+  let payload =
+    M.Lookup { key; seq; origin = t.me; hops = 0; retx = false; reliable }
+  in
+  route_payload t payload ~key ~reroutes:0
+
+let crash t =
+  t.active <- false;
+  t.alive <- false
+
+let leave t =
+  if t.alive then begin
+    if t.active then
+      List.iter (fun m -> send_msg t m M.Goodbye) (Leafset.members t.leafset);
+    crash t
+  end
+
+let bootstrap = bootstrap
+let join = join
+let handle = handle
+let lookup = lookup

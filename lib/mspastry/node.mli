@@ -1,0 +1,88 @@
+(** An MSPastry protocol node.
+
+    The node is a pure state machine over an {!env} of capabilities
+    (virtual clock, message send, timers, application upcalls), so the
+    same code runs under the packet simulator and under unit tests with a
+    scripted environment — mirroring the paper's "the code that runs in
+    the simulator and in the real deployment is the same".
+
+    Lifecycle: {!create} → either {!bootstrap} (first node of a fresh
+    overlay) or {!join} via any live node's address → the node probes its
+    prospective leaf set (Fig 2) and fires [on_active] once routing
+    consistency is established → {!lookup} routes application messages →
+    {!crash} silences it (voluntary departures are treated as failures,
+    as in the paper's traces). *)
+
+open Pastry
+
+type forward_decision = Continue | Absorb
+
+type env = {
+  now : unit -> float;
+  send : dst:int -> Message.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> Simkit.Engine.event_id;
+  cancel : Simkit.Engine.event_id -> unit;
+  rng : Repro_util.Rng.t;
+  deliver : Message.lookup -> unit;
+      (** the node is the root of the lookup's key and is active *)
+  forward : prev:Pastry.Peer.t option -> Message.lookup -> forward_decision;
+      (** the common-API forward upcall: invoked before this node routes a
+          lookup onward ([prev] is the hop it arrived from, [None] at the
+          origin). Returning [Absorb] consumes the message here without
+          delivering it — Scribe-style applications build multicast trees
+          this way. Return [Continue] when in doubt. *)
+  on_active : unit -> unit;  (** fired once, when the join completes *)
+  on_join_failed : unit -> unit;
+      (** join retries exhausted; the node never became active *)
+  on_lookup_drop : Message.lookup -> unit;
+      (** a per-hop reroute budget was exhausted; the message is lost *)
+}
+
+type t
+
+val create : cfg:Config.t -> env:env -> id:Nodeid.t -> addr:int -> t
+
+val me : t -> Peer.t
+val config : t -> Config.t
+
+val bootstrap : t -> unit
+(** Become the first, immediately-active node of a new overlay. *)
+
+val join : t -> bootstrap_addr:int -> unit
+(** Join via the given address: nearest-neighbour seed discovery, routed
+    join request, leaf-set probing, activation. *)
+
+val handle : t -> src:int -> Message.t -> unit
+(** Network upcall — wire this to {!Netsim.Net.register}. *)
+
+val lookup : ?reliable:bool -> t -> key:Nodeid.t -> seq:int -> unit
+(** Route an application lookup from this node. [reliable:false] flags
+    the message to travel without per-hop acks (§3.2) — cheaper, but a
+    node or link failure along the route loses it. *)
+
+val crash : t -> unit
+(** Halt the node: it stops processing messages and timers. The caller
+    must also unregister it from the network. *)
+
+val leave : t -> unit
+(** Graceful departure: announce GOODBYE to the leaf-set members (they
+    evict and repair immediately, without burning probe timeouts on a
+    node known to be gone), then halt as {!crash}. *)
+
+val is_active : t -> bool
+val is_alive : t -> bool
+
+val leafset : t -> Leafset.t
+val table : t -> Routing_table.t
+
+val current_trt : t -> float
+(** The routing-table probing period currently in force. *)
+
+val estimated_n : t -> float
+val estimated_mu : t -> float
+
+val failed_set : t -> Nodeid.t list
+(** Contents of [failed_i] (test introspection). *)
+
+val pending_probes : t -> int
+val pending_hops : t -> int

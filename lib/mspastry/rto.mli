@@ -1,0 +1,25 @@
+(** Per-peer retransmission timeout estimation.
+
+    TCP-style smoothed RTT (Karn & Partridge / Jacobson): on each sample,
+    [srtt += (s − srtt)/8] and [rttvar += (|s − srtt| − rttvar)/4]. The
+    paper sets timeouts "more aggressively" than TCP because Pastry has
+    alternative next hops, so the timeout is
+    [1.1·srtt + max(G, 2·rttvar)] (TCP uses [srtt + max(G, 4·rttvar)])
+    clamped to configured bounds — the granularity floor [G] matters in a
+    jitter-free simulation, where rttvar otherwise decays to zero and the
+    timeout would race the ack, and samples are only taken
+    from unambiguous exchanges (Karn's rule — the caller must not feed
+    samples from retransmitted hops). *)
+
+type t
+
+val create : initial:float -> min:float -> max:float -> t
+
+val observe : t -> float -> unit
+(** Feed one RTT sample in seconds. *)
+
+val timeout : t -> float
+(** Current retransmission timeout; [initial] until the first sample. *)
+
+val srtt : t -> float option
+val samples : t -> int

@@ -1,0 +1,5 @@
+(* Library-level tracing: silent unless the application enables the
+   "mspastry" Logs source (e.g. Logs.Src.set_level src (Some Debug)). *)
+let src = Logs.Src.create "mspastry" ~doc:"MSPastry protocol events"
+
+module Log = (val Logs.src_log src : Logs.LOG)

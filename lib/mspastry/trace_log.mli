@@ -1,0 +1,8 @@
+(** Protocol event tracing through [Logs].
+
+    Disabled by default; applications opt in with
+    [Logs.Src.set_level Trace_log.src (Some Logs.Debug)]. *)
+
+val src : Logs.src
+
+module Log : Logs.LOG

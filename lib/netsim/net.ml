@@ -1,0 +1,74 @@
+module Rng = Repro_util.Rng
+
+type 'm t = {
+  engine : Simkit.Engine.t;
+  topology : Topology.t;
+  rng : Rng.t;
+  endpoint_of : int -> int;
+  handlers : (int, src:int -> 'm -> unit) Hashtbl.t;
+  mutable loss_rate : float;
+  mutable taps : (time:float -> src:int -> dst:int -> 'm -> unit) list;
+  mutable n_sent : int;
+  mutable n_delivered : int;
+  mutable n_dropped : int;
+}
+
+let create ?(loss_rate = 0.0) ?(endpoint_of = fun a -> a) ~engine ~topology ~rng () =
+  if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Net.create: loss_rate";
+  {
+    engine;
+    topology;
+    rng;
+    endpoint_of;
+    handlers = Hashtbl.create 256;
+    loss_rate;
+    taps = [];
+    n_sent = 0;
+    n_delivered = 0;
+    n_dropped = 0;
+  }
+
+let engine t = t.engine
+let topology t = t.topology
+let set_loss_rate t r = t.loss_rate <- r
+let loss_rate t = t.loss_rate
+
+let register t ~addr handler = Hashtbl.replace t.handlers addr handler
+let unregister t ~addr = Hashtbl.remove t.handlers addr
+let is_registered t ~addr = Hashtbl.mem t.handlers addr
+
+(* distinct addresses on the same endpoint are LAN neighbours, not the
+   same machine *)
+let same_endpoint_delay = 0.0005
+
+let delay t a b =
+  if a = b then 0.0
+  else begin
+    let d = Topology.delay t.topology (t.endpoint_of a) (t.endpoint_of b) in
+    if d <= 0.0 then same_endpoint_delay else d
+  end
+
+let rtt t a b = 2.0 *. delay t a b
+
+let on_send t tap = t.taps <- tap :: t.taps
+
+let send t ~src ~dst msg =
+  t.n_sent <- t.n_sent + 1;
+  let now = Simkit.Engine.now t.engine in
+  List.iter (fun tap -> tap ~time:now ~src ~dst msg) t.taps;
+  let lost = t.loss_rate > 0.0 && Rng.float t.rng 1.0 < t.loss_rate in
+  if lost then t.n_dropped <- t.n_dropped + 1
+  else begin
+    let d = delay t src dst in
+    ignore
+      (Simkit.Engine.schedule t.engine ~delay:d (fun () ->
+           match Hashtbl.find_opt t.handlers dst with
+           | Some handler ->
+               t.n_delivered <- t.n_delivered + 1;
+               handler ~src msg
+           | None -> t.n_dropped <- t.n_dropped + 1))
+  end
+
+let n_sent t = t.n_sent
+let n_delivered t = t.n_delivered
+let n_dropped t = t.n_dropped

@@ -1,0 +1,53 @@
+(** Packet-level network simulation on top of a topology.
+
+    Endpoints register message handlers under small-integer addresses
+    (the topology's endpoint indices). A sent message is delivered after
+    the topology's one-way propagation delay, unless it is dropped by the
+    uniform loss process or the destination has crashed (unregistered) by
+    delivery time. Matching the paper's simulator, congestion delays and
+    losses are not modelled. *)
+
+type 'm t
+
+val create :
+  ?loss_rate:float ->
+  ?endpoint_of:(int -> int) ->
+  engine:Simkit.Engine.t ->
+  topology:Topology.t ->
+  rng:Repro_util.Rng.t ->
+  unit ->
+  'm t
+(** [loss_rate] is the uniform per-message drop probability (default 0).
+    [endpoint_of] maps addresses to topology endpoints (default identity)
+    — distinct addresses may share an endpoint; they then see a fixed
+    small LAN delay instead of zero. *)
+
+val engine : 'm t -> Simkit.Engine.t
+val topology : 'm t -> Topology.t
+
+val set_loss_rate : 'm t -> float -> unit
+val loss_rate : 'm t -> float
+
+val register : 'm t -> addr:int -> (src:int -> 'm -> unit) -> unit
+(** Attach (or replace) the message handler for an endpoint. *)
+
+val unregister : 'm t -> addr:int -> unit
+(** Crash the endpoint: undelivered and future messages to it vanish. *)
+
+val is_registered : 'm t -> addr:int -> bool
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Fire-and-forget unicast. [src] must equal the sender's own address —
+    it is what the receiver's handler sees. Sending to self delivers on
+    the next event-loop step with zero delay. *)
+
+val delay : 'm t -> int -> int -> float
+val rtt : 'm t -> int -> int -> float
+
+val on_send : 'm t -> (time:float -> src:int -> dst:int -> 'm -> unit) -> unit
+(** Metrics tap invoked for every {!send}, including messages later lost. *)
+
+val n_sent : 'm t -> int
+val n_delivered : 'm t -> int
+val n_dropped : 'm t -> int
+(** Losses plus messages addressed to crashed endpoints. *)

@@ -1,0 +1,129 @@
+type t = {
+  l : int;
+  me : Peer.t;
+  mutable left : Peer.t list; (* ascending ccw distance from me *)
+  mutable right : Peer.t list; (* ascending cw distance from me *)
+}
+
+let create ~l ~me =
+  if l < 2 || l mod 2 <> 0 then invalid_arg "Leafset.create: l must be even and >= 2";
+  { l; me; left = []; right = [] }
+
+let me t = t.me
+let l t = t.l
+
+let side_mem side id = List.exists (fun p -> Nodeid.equal p.Peer.id id) side
+
+(* insert sorted by [dist], capped at [cap]; returns (side', changed) *)
+let side_insert ~dist ~cap side peer =
+  if side_mem side peer.Peer.id then (side, false)
+  else begin
+    let d = dist peer.Peer.id in
+    let rec ins = function
+      | [] -> [ peer ]
+      | p :: rest ->
+          if Nodeid.compare d (dist p.Peer.id) < 0 then peer :: p :: rest
+          else p :: ins rest
+    in
+    let trimmed = Repro_util.Listx.take cap (ins side) in
+    let changed = side_mem trimmed peer.Peer.id in
+    (trimmed, changed)
+  end
+
+let add t peer =
+  if Nodeid.equal peer.Peer.id t.me.Peer.id then false
+  else begin
+    let cap = t.l / 2 in
+    let ccw id = Nodeid.cw_dist id t.me.Peer.id in
+    let cw id = Nodeid.cw_dist t.me.Peer.id id in
+    let left', c1 = side_insert ~dist:ccw ~cap t.left peer in
+    let right', c2 = side_insert ~dist:cw ~cap t.right peer in
+    t.left <- left';
+    t.right <- right';
+    c1 || c2
+  end
+
+let remove t id =
+  let had = side_mem t.left id || side_mem t.right id in
+  if had then begin
+    t.left <- List.filter (fun p -> not (Nodeid.equal p.Peer.id id)) t.left;
+    t.right <- List.filter (fun p -> not (Nodeid.equal p.Peer.id id)) t.right
+  end;
+  had
+
+let mem t id = side_mem t.left id || side_mem t.right id
+
+let members t =
+  let right_ids = List.map (fun p -> p.Peer.id) t.right in
+  t.right @ List.filter (fun p -> not (List.exists (Nodeid.equal p.Peer.id) right_ids)) t.left
+
+let size t = List.length (members t)
+let left_size t = List.length t.left
+let right_size t = List.length t.right
+
+let left_neighbor t = match t.left with [] -> None | p :: _ -> Some p
+let right_neighbor t = match t.right with [] -> None | p :: _ -> Some p
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: rest -> last rest
+
+let leftmost t = last t.left
+let rightmost t = last t.right
+
+let wraps t =
+  t.left <> [] && t.right <> []
+  && List.exists (fun p -> side_mem t.right p.Peer.id) t.left
+
+let complete t =
+  let cap = t.l / 2 in
+  (t.left = [] && t.right = [])
+  || (List.length t.left = cap && List.length t.right = cap)
+  || wraps t
+
+let covers t k =
+  if wraps t then true
+  else
+    match (leftmost t, rightmost t) with
+    | None, None -> true
+    | Some lm, Some rm -> Nodeid.in_cw_arc ~from:lm.Peer.id ~til:rm.Peer.id k
+    | Some _, None | None, Some _ -> false
+
+let closest t k =
+  List.fold_left
+    (fun best p -> if Nodeid.closer ~key:k p.Peer.id best.Peer.id then p else best)
+    t.me (members t)
+
+let closest_excluding t k ~excluded =
+  let cands =
+    t.me :: List.filter (fun p -> not (excluded p.Peer.id)) (members t)
+  in
+  match cands with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best p -> if Nodeid.closer ~key:k p.Peer.id best.Peer.id then p else best)
+           first rest)
+
+let would_admit t id =
+  if Nodeid.equal id t.me.Peer.id then false
+  else if mem t id then false
+  else begin
+    let cap = t.l / 2 in
+    let fits side dist =
+      List.length side < cap
+      ||
+      match last side with
+      | None -> true
+      | Some far -> Nodeid.compare (dist id) (dist far.Peer.id) < 0
+    in
+    let ccw x = Nodeid.cw_dist x t.me.Peer.id in
+    let cw x = Nodeid.cw_dist t.me.Peer.id x in
+    fits t.left ccw || fits t.right cw
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>[%a] <- %a -> [%a]@]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ") Peer.pp)
+    (List.rev t.left) Peer.pp t.me
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ") Peer.pp)
+    t.right

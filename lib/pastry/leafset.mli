@@ -1,0 +1,66 @@
+(** Pastry leaf set: the l/2 ring neighbours on each side of a node.
+
+    The left side holds the closest identifiers counter-clockwise
+    (numerically decreasing, mod 2^128), the right side clockwise. In
+    overlays with at most [l] nodes the sides overlap ("wrap"); a wrapped
+    leaf set knows every node in the ring and is considered complete even
+    when the sides are not full. *)
+
+type t
+
+val create : l:int -> me:Peer.t -> t
+(** [l] must be even and >= 2. *)
+
+val me : t -> Peer.t
+val l : t -> int
+
+val add : t -> Peer.t -> bool
+(** Insert a peer on whichever sides it belongs to. Returns [true] when
+    the leaf set changed. The peer equal to [me] is ignored. *)
+
+val remove : t -> Nodeid.t -> bool
+(** Remove from both sides; [true] when the peer was present. *)
+
+val mem : t -> Nodeid.t -> bool
+
+val members : t -> Peer.t list
+(** All distinct peers (never includes [me]). *)
+
+val size : t -> int
+(** Number of distinct members. *)
+
+val left_size : t -> int
+val right_size : t -> int
+
+val left_neighbor : t -> Peer.t option
+(** Immediate counter-clockwise neighbour — heartbeat target. *)
+
+val right_neighbor : t -> Peer.t option
+(** Immediate clockwise neighbour — the node whose heartbeats we watch. *)
+
+val leftmost : t -> Peer.t option
+(** Furthest member counter-clockwise. *)
+
+val rightmost : t -> Peer.t option
+
+val wraps : t -> bool
+(** The two sides share a member — the leaf set spans the whole ring. *)
+
+val complete : t -> bool
+(** Both sides full, or the set wraps, or the overlay is a singleton. *)
+
+val covers : t -> Nodeid.t -> bool
+(** Is the key on the arc \[leftmost, rightmost\] through [me]? Always
+    true when the set wraps or the node is alone; false whenever exactly
+    one side is empty (the paper suspends delivery in that state). *)
+
+val closest : t -> Nodeid.t -> Peer.t
+(** Member (including [me]) owning the key under {!Nodeid.closer}. *)
+
+val closest_excluding : t -> Nodeid.t -> excluded:(Nodeid.t -> bool) -> Peer.t option
+(** Like {!closest} but skipping excluded peers; [me] is never excluded. *)
+
+val would_admit : t -> Nodeid.t -> bool
+(** Would {!add} of this identifier change the leaf set? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+type t = string
+
+let size = 16
+let bits = 128
+
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+
+let zero = String.make size '\000'
+let max_value = String.make size '\255'
+
+let of_string s =
+  if String.length s <> size then invalid_arg "Nodeid.of_string: need 16 bytes";
+  s
+
+let to_raw t = t
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Nodeid.of_hex: bad hex digit"
+
+let of_hex s =
+  if String.length s <> 2 * size then invalid_arg "Nodeid.of_hex: need 32 hex chars";
+  String.init size (fun i ->
+      Char.chr ((hex_digit s.[2 * i] lsl 4) lor hex_digit s.[(2 * i) + 1]))
+
+let to_hex t =
+  String.concat ""
+    (List.init size (fun i -> Printf.sprintf "%02x" (Char.code t.[i])))
+
+let short t = String.sub (to_hex t) 0 8
+
+let random rng = Repro_util.Rng.bytes rng size
+
+let of_int i =
+  if i < 0 then invalid_arg "Nodeid.of_int: negative";
+  let b = Bytes.make size '\000' in
+  let v = ref (Int64.of_int i) in
+  for k = size - 1 downto size - 8 do
+    Bytes.set b k (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+    v := Int64.shift_right_logical !v 8
+  done;
+  Bytes.to_string b
+
+let num_digits ~b =
+  if b < 1 || b > 8 then invalid_arg "Nodeid.num_digits: b must be in 1..8";
+  (bits + b - 1) / b
+
+let bit t k = (Char.code t.[k / 8] lsr (7 - (k mod 8))) land 1
+
+let digit ~b t i =
+  let start = i * b in
+  if start < 0 || start >= bits then invalid_arg "Nodeid.digit: index out of range";
+  let len = min b (bits - start) in
+  let v = ref 0 in
+  for k = start to start + len - 1 do
+    v := (!v lsl 1) lor bit t k
+  done;
+  !v
+
+let shared_prefix_length ~b a c =
+  let n = num_digits ~b in
+  let rec go i =
+    if i >= n then n
+    else if digit ~b a i = digit ~b c i then go (i + 1)
+    else i
+  in
+  go 0
+
+let add a c =
+  let r = Bytes.create size in
+  let carry = ref 0 in
+  for i = size - 1 downto 0 do
+    let s = Char.code a.[i] + Char.code c.[i] + !carry in
+    Bytes.set r i (Char.chr (s land 0xFF));
+    carry := s lsr 8
+  done;
+  Bytes.to_string r
+
+let sub a c =
+  let r = Bytes.create size in
+  let borrow = ref 0 in
+  for i = size - 1 downto 0 do
+    let d = Char.code a.[i] - Char.code c.[i] - !borrow in
+    if d < 0 then begin
+      Bytes.set r i (Char.chr (d + 256));
+      borrow := 1
+    end
+    else begin
+      Bytes.set r i (Char.chr d);
+      borrow := 0
+    end
+  done;
+  Bytes.to_string r
+
+let cw_dist a c = sub c a
+
+let ring_dist a c =
+  let d1 = sub c a and d2 = sub a c in
+  if String.compare d1 d2 <= 0 then d1 else d2
+
+let in_cw_arc ~from ~til x = String.compare (cw_dist from x) (cw_dist from til) <= 0
+
+let closer ~key a c =
+  let da = ring_dist a key and dc = ring_dist c key in
+  let cmp = String.compare da dc in
+  if cmp <> 0 then cmp < 0 else String.compare a c < 0
+
+let to_float t =
+  let acc = ref 0.0 in
+  for i = 0 to size - 1 do
+    acc := (!acc *. 256.0) +. float_of_int (Char.code t.[i])
+  done;
+  !acc
+
+let pp fmt t = Format.pp_print_string fmt (short t)

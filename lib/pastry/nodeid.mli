@@ -1,0 +1,77 @@
+(** 128-bit Pastry identifiers.
+
+    Node identifiers and object keys are drawn from the same circular
+    128-bit space. Values are immutable 16-byte strings in big-endian
+    order, so plain [String.compare] is numeric comparison.
+
+    Ring geometry: the clockwise distance from [a] to [b] is
+    [(b − a) mod 2^128]; the ring distance is the smaller of the two
+    directed distances. A key is owned by the live node minimising ring
+    distance, with ties broken by the numerically smaller identifier —
+    every component of the system uses {!closer} so the tie-break is
+    globally consistent. *)
+
+type t = private string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val zero : t
+val max_value : t
+
+val of_string : string -> t
+(** Requires a 16-byte string. *)
+
+val to_raw : t -> string
+
+val of_hex : string -> t
+(** Requires 32 hex characters. *)
+
+val to_hex : t -> string
+
+val short : t -> string
+(** First 8 hex chars — for logs. *)
+
+val random : Repro_util.Rng.t -> t
+
+val of_int : int -> t
+(** Identifier with the low 62 bits set from [i] (test helper). *)
+
+val num_digits : b:int -> int
+(** Number of base-2^b digits in an identifier: ceil(128/b). *)
+
+val digit : b:int -> t -> int -> int
+(** [digit ~b t i] is the i-th digit (0 = most significant) of [t] in base
+    2^b. The final digit may span fewer than [b] bits when [b] does not
+    divide 128. *)
+
+val shared_prefix_length : b:int -> t -> t -> int
+(** Number of leading base-2^b digits the two identifiers share. *)
+
+val add : t -> t -> t
+(** Modular 2^128 addition. *)
+
+val sub : t -> t -> t
+(** [sub a b] is [(a − b) mod 2^128]. *)
+
+val cw_dist : t -> t -> t
+(** [cw_dist a b] — clockwise (increasing id) distance from [a] to [b]. *)
+
+val ring_dist : t -> t -> t
+(** Minimum of the two directed distances. *)
+
+val in_cw_arc : from:t -> til:t -> t -> bool
+(** [in_cw_arc ~from ~til x] — is [x] on the closed clockwise arc
+    \[from, til\]? When [from = til] the arc is the single point. *)
+
+val closer : key:t -> t -> t -> bool
+(** [closer ~key a b] — does [a] strictly win ownership of [key] against
+    [b]? Smaller ring distance wins; equal distance falls back to the
+    numerically smaller identifier. *)
+
+val to_float : t -> float
+(** Approximate magnitude as a float in [\[0, 2^128)] — used for
+    estimating network size from leaf-set density. *)
+
+val pp : Format.formatter -> t -> unit

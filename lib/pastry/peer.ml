@@ -1,0 +1,6 @@
+type t = { id : Nodeid.t; addr : int }
+
+let make id addr = { id; addr }
+let compare a b = Nodeid.compare a.id b.id
+let equal a b = Nodeid.equal a.id b.id
+let pp fmt t = Format.fprintf fmt "%a@%d" Nodeid.pp t.id t.addr

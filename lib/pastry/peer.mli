@@ -1,0 +1,11 @@
+(** An overlay node as seen by another node: identifier + network address.
+
+    Addresses are the small integers under which nodes register with the
+    packet simulator (they stand in for IP address + port). *)
+
+type t = { id : Nodeid.t; addr : int }
+
+val make : Nodeid.t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

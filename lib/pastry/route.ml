@@ -1,0 +1,55 @@
+type decision = Deliver | Forward of Peer.t
+
+let no_exclusion _ = false
+
+let next_hop ?(excluded = no_exclusion) ~leafset ~table ~key () =
+  let me = Leafset.me leafset in
+  if Leafset.covers leafset key then
+    match Leafset.closest_excluding leafset key ~excluded with
+    | None -> Deliver
+    | Some p -> if Nodeid.equal p.Peer.id me.Peer.id then Deliver else Forward p
+  else begin
+    let b = Routing_table.b table in
+    let r = Nodeid.shared_prefix_length ~b key me.Peer.id in
+    let direct =
+      match Routing_table.get table r (Nodeid.digit ~b key r) with
+      | Some e when not (excluded e.Routing_table.peer.Peer.id) -> Some e.Routing_table.peer
+      | Some _ | None -> None
+    in
+    match direct with
+    | Some p -> Forward p
+    | None ->
+        (* fallback: any peer strictly closer to the key sharing a prefix of
+           length >= r; prefer longer shared prefixes, then ring proximity *)
+        let candidates =
+          Leafset.members leafset @ Routing_table.peers table
+        in
+        let my_dist = Nodeid.ring_dist me.Peer.id key in
+        let better best p =
+          if excluded p.Peer.id then best
+          else begin
+            let pl = Nodeid.shared_prefix_length ~b key p.Peer.id in
+            let pd = Nodeid.ring_dist p.Peer.id key in
+            if pl < r || Nodeid.compare pd my_dist >= 0 then best
+            else
+              match best with
+              | None -> Some (pl, pd, p)
+              | Some (bl, bd, _) ->
+                  if pl > bl || (pl = bl && Nodeid.compare pd bd < 0) then Some (pl, pd, p)
+                  else best
+          end
+        in
+        match List.fold_left better None candidates with
+        | Some (_, _, p) -> Forward p
+        | None -> Deliver
+  end
+
+let empty_slot_on_path ~leafset ~table ~key =
+  let me = Leafset.me leafset in
+  if Leafset.covers leafset key || Nodeid.equal key me.Peer.id then None
+  else begin
+    let b = Routing_table.b table in
+    let r = Nodeid.shared_prefix_length ~b key me.Peer.id in
+    let c = Nodeid.digit ~b key r in
+    match Routing_table.get table r c with None -> Some (r, c) | Some _ -> None
+  end

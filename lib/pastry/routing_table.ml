@@ -1,0 +1,112 @@
+type entry = { peer : Peer.t; rtt : float }
+
+type t = {
+  b : int;
+  me : Nodeid.t;
+  table : entry option array array; (* rows x cols *)
+  mutable count : int;
+}
+
+let create ~b ~me =
+  if b < 1 || b > 8 then invalid_arg "Routing_table.create: b must be in 1..8";
+  let rows = Nodeid.num_digits ~b in
+  let cols = 1 lsl b in
+  { b; me; table = Array.make_matrix rows cols None; count = 0 }
+
+let b t = t.b
+let rows t = Array.length t.table
+let cols t = Array.length t.table.(0)
+let me t = t.me
+
+let slot_of t id =
+  if Nodeid.equal id t.me then None
+  else begin
+    let r = Nodeid.shared_prefix_length ~b:t.b t.me id in
+    (* r < num_digits since id <> me *)
+    Some (r, Nodeid.digit ~b:t.b id r)
+  end
+
+let get t r c = t.table.(r).(c)
+
+let find t id =
+  match slot_of t id with
+  | None -> None
+  | Some (r, c) -> (
+      match t.table.(r).(c) with
+      | Some e when Nodeid.equal e.peer.Peer.id id -> Some e
+      | Some _ | None -> None)
+
+let install t r c e =
+  if t.table.(r).(c) = None then t.count <- t.count + 1;
+  t.table.(r).(c) <- Some e
+
+let consider t peer ~rtt =
+  match slot_of t peer.Peer.id with
+  | None -> false
+  | Some (r, c) -> (
+      match t.table.(r).(c) with
+      | None ->
+          install t r c { peer; rtt };
+          true
+      | Some e when Nodeid.equal e.peer.Peer.id peer.Peer.id ->
+          if rtt < e.rtt then begin
+            t.table.(r).(c) <- Some { peer; rtt };
+            true
+          end
+          else false
+      | Some e ->
+          if rtt < e.rtt then begin
+            t.table.(r).(c) <- Some { peer; rtt };
+            true
+          end
+          else false)
+
+let set t peer ~rtt =
+  match slot_of t peer.Peer.id with
+  | None -> false
+  | Some (r, c) ->
+      install t r c { peer; rtt };
+      true
+
+let remove t id =
+  match slot_of t id with
+  | None -> false
+  | Some (r, c) -> (
+      match t.table.(r).(c) with
+      | Some e when Nodeid.equal e.peer.Peer.id id ->
+          t.table.(r).(c) <- None;
+          t.count <- t.count - 1;
+          true
+      | Some _ | None -> false)
+
+let row_entries t r =
+  Array.to_list t.table.(r) |> List.filter_map (fun x -> x)
+
+let entries t =
+  Array.to_list t.table
+  |> List.concat_map (fun row -> Array.to_list row |> List.filter_map (fun x -> x))
+
+let peers t = List.map (fun e -> e.peer) (entries t)
+
+let count t = t.count
+
+let update_rtt t id rtt =
+  match slot_of t id with
+  | None -> ()
+  | Some (r, c) -> (
+      match t.table.(r).(c) with
+      | Some e when Nodeid.equal e.peer.Peer.id id -> t.table.(r).(c) <- Some { e with rtt }
+      | Some _ | None -> ())
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>routing table of %a (%d entries)@," Nodeid.pp t.me t.count;
+  Array.iteri
+    (fun r row ->
+      let occupied = Array.to_list row |> List.filter_map (fun x -> x) in
+      if occupied <> [] then
+        Format.fprintf fmt "row %2d: %a@," r
+          (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+             (fun f e -> Peer.pp f e.peer))
+          occupied)
+    t.table;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,50 @@
+(** Scribe-style application-level multicast on MSPastry.
+
+    One of the applications the paper names as a consumer of consistent
+    routing (§3.1): each group is identified by a key; the key's root is
+    the rendezvous node. A member subscribes by routing a SUBSCRIBE
+    message towards the group key — every node the message passes through
+    records the previous hop as a child, so the union of subscribe paths
+    forms the multicast tree. Multicasts travel to the root through the
+    overlay and then down the tree over direct links.
+
+    Subscriptions are soft state: members re-subscribe every
+    [refresh_period] and each refresh re-traverses the whole route
+    (re-stamping child links), so trees heal around crashed forwarders
+    and follow root changes under churn; child links that miss three
+    refreshes are not used for dissemination.
+
+    The implementation drives the overlay through {!Harness.Sim.Live}'s
+    common-API hooks ({!Harness.Sim.Live.on_forward} / [on_deliver]). *)
+
+type t
+
+val create : ?refresh_period:float -> live:Harness.Sim.Live.t -> unit -> t
+(** [refresh_period] — soft-state resubscription interval (default
+    60 s; trees survive forwarder crashes within roughly this window). *)
+
+type group = Pastry.Nodeid.t
+
+val group_of_name : string -> group
+(** Hash a human-readable group name into the key space. *)
+
+val subscribe : t -> member:Mspastry.Node.t -> group -> unit
+(** Join the group and keep membership refreshed until [member] dies. *)
+
+val multicast : t -> from:Mspastry.Node.t -> group -> int
+(** Publish one message; returns its id for {!delivered}. *)
+
+val members : t -> group -> int
+(** Live subscribed members. *)
+
+val delivered : t -> group -> int -> int
+(** Number of distinct members that received the given multicast. *)
+
+type stats = {
+  subscribes_sent : int;
+  multicasts_sent : int;
+  deliveries : int;  (** member deliveries over all multicasts *)
+  tree_messages : int;  (** direct (non-overlay) dissemination messages *)
+}
+
+val stats : t -> stats

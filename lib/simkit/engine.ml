@@ -1,0 +1,67 @@
+type event = { time : float; fn : unit -> unit; mutable cancelled : bool }
+type event_id = event
+
+type t = {
+  mutable clock : float;
+  queue : event Repro_util.Heap.t;
+  mutable live : int;
+}
+
+let create () =
+  {
+    clock = 0.0;
+    queue = Repro_util.Heap.create ~leq:(fun a b -> a.time <= b.time) ();
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time fn =
+  let time = if time < t.clock then t.clock else time in
+  let e = { time; fn; cancelled = false } in
+  Repro_util.Heap.push t.queue e;
+  t.live <- t.live + 1;
+  e
+
+let schedule t ~delay fn =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) fn
+
+let cancel t e =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let step t =
+  let rec next () =
+    match Repro_util.Heap.pop t.queue with
+    | None -> false
+    | Some e when e.cancelled -> next ()
+    | Some e ->
+        t.live <- t.live - 1;
+        t.clock <- e.time;
+        e.fn ();
+        true
+  in
+  next ()
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Repro_util.Heap.peek t.queue with
+    | None -> continue := false
+    | Some e when e.cancelled ->
+        ignore (Repro_util.Heap.pop t.queue)
+    | Some e when e.time > until -> continue := false
+    | Some _ -> ignore (step t)
+  done;
+  if t.clock < until then t.clock <- until
+
+let run_all ?(max_events = max_int) t =
+  let fired = ref 0 in
+  while !fired < max_events && step t do
+    incr fired
+  done

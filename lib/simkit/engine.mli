@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded virtual clock with a cancellable timer queue.
+    Simultaneous events fire in scheduling order (FIFO), which keeps runs
+    deterministic for a fixed seed. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t +. max delay 0.]. The
+    callback runs with the clock set to its firing time. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** Absolute-time variant. Times before [now] fire immediately (at [now]). *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val run : t -> until:float -> unit
+(** Process events in time order until the queue is empty or the next
+    event is later than [until]; the clock finishes at [until]. *)
+
+val run_all : ?max_events:int -> t -> unit
+(** Process events until the queue drains (or [max_events] fired). *)
+
+val step : t -> bool
+(** Fire the single next event; [false] when the queue is empty. *)

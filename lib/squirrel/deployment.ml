@@ -1,0 +1,77 @@
+module Live = Harness.Sim.Live
+module Sim = Harness.Sim
+
+type result = {
+  total_traffic : (float * float) array;
+  cache_stats : Cache.stats;
+  hit_rate : float;
+  n_nodes : int;
+  duration : float;
+}
+
+let run ?(n_nodes = 52) ?(duration = 6.0 *. 86_400.0) ?(window = 3600.0)
+    ?(peak_rate = 0.05) ~seed () =
+  let config =
+    {
+      Sim.default_config with
+      seed;
+      topology = Sim.Corpnet;
+      lookup_rate = 0.0 (* Squirrel drives all lookups *);
+      window;
+      warmup = 1800.0;
+    }
+  in
+  let live = Live.create config ~n_endpoints:n_nodes in
+  let cache = Cache.create ~live () in
+  (* machines come up staggered over the first 20 minutes *)
+  for i = 0 to n_nodes - 1 do
+    Live.spawn_at live ~time:(float_of_int i *. (1200.0 /. float_of_int n_nodes)) ()
+  done;
+  Live.run_until live 1800.0;
+  let clients = Array.of_list (Live.active_nodes live) in
+  let n_clients = Array.length clients in
+  let rng = Repro_util.Rng.create (seed + 1) in
+  let wl = Workload.generate ~rng ~n_clients ~duration ~peak_rate () in
+  Array.iter
+    (fun (r : Workload.request) ->
+      ignore
+        (Simkit.Engine.schedule_at (Live.engine live) ~time:(1800.0 +. r.Workload.time)
+           (fun () ->
+             let client = clients.(r.Workload.client mod n_clients) in
+             if Mspastry.Node.is_alive client && Mspastry.Node.is_active client then
+               Cache.request cache ~client ~url:r.Workload.url)))
+    (Workload.requests wl);
+  Live.run_until live (1800.0 +. duration +. 60.0);
+  Overlay_metrics.Collector.flush (Live.collector live) ~time:(1800.0 +. duration);
+  let overlay = Overlay_metrics.Collector.control_series (Live.collector live) in
+  let lookup_series =
+    Overlay_metrics.Collector.control_series_by_class (Live.collector live)
+      Mspastry.Message.C_lookup
+  in
+  let squirrel = Cache.traffic_series cache ~window in
+  (* merge the three per-window series into total messages/s/node *)
+  let totals = Hashtbl.create 256 in
+  let add arr =
+    Array.iter
+      (fun (mid, v) ->
+        Hashtbl.replace totals mid
+          (v +. (try Hashtbl.find totals mid with Not_found -> 0.0)))
+      arr
+  in
+  add overlay;
+  add lookup_series;
+  add squirrel;
+  let total_traffic =
+    Hashtbl.fold (fun mid v acc -> (mid, v) :: acc) totals []
+    |> List.sort compare |> Array.of_list
+  in
+  let s = Cache.stats cache in
+  {
+    total_traffic;
+    cache_stats = s;
+    hit_rate =
+      (if s.Cache.responses = 0 then 0.0
+       else float_of_int s.Cache.hits /. float_of_int s.Cache.responses);
+    n_nodes = n_clients;
+    duration;
+  }

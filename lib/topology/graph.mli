@@ -1,0 +1,25 @@
+(** Undirected weighted router graph with single-source shortest paths. *)
+
+type t
+
+val create : int -> t
+(** [create n] — graph on vertices [0 .. n-1], no edges. *)
+
+val n : t -> int
+val n_edges : t -> int
+
+val add_edge : t -> int -> int -> float -> unit
+(** Undirected edge with a positive weight (seconds of one-way delay, or
+    1.0 when the metric is hop count). Parallel edges keep the minimum
+    weight. Self-loops are ignored. *)
+
+val neighbors : t -> int -> (int * float) list
+
+val dijkstra : t -> int -> float array
+(** Distances from the source to every vertex; [infinity] when
+    unreachable. *)
+
+val connected : t -> bool
+
+val ensure_connected : t -> Repro_util.Rng.t -> weight:(unit -> float) -> unit
+(** Add random edges between components until the graph is connected. *)

@@ -1,0 +1,70 @@
+(** Network topology models with endpoint-to-endpoint delay oracles.
+
+    A topology exposes [n_endpoints] attachment points for overlay nodes
+    and a one-way propagation delay between any two of them (seconds).
+    Round-trip time — the proximity metric used by the protocol — is twice
+    the one-way delay.
+
+    Three models mirror the paper's §5.1:
+    - {!transit_stub}: GATech-style hierarchical transit-stub network
+      (default dimensions 10 transit domains × 5 routers, 10 stub domains
+      per transit router × 10 routers = 5050 routers);
+    - {!as_graph}: Mercator-style autonomous-system hierarchy where the
+      metric is router hop count;
+    - {!corpnet}: small corporate WAN (298 routers, measured-RTT style).
+
+    Shortest paths are computed on demand (Dijkstra per source router) and
+    cached. *)
+
+module Graph = Graph
+
+type t
+
+val name : t -> string
+val n_endpoints : t -> int
+
+val delay : t -> int -> int -> float
+(** One-way delay in seconds between two endpoints. [delay t e e = 0]. *)
+
+val rtt : t -> int -> int -> float
+(** [2 * delay]. *)
+
+val n_routers : t -> int
+
+val constant : n_endpoints:int -> delay:float -> t
+(** Every distinct pair at the same one-way delay (test topology). *)
+
+val transit_stub :
+  ?transit_domains:int ->
+  ?routers_per_transit:int ->
+  ?stubs_per_transit_router:int ->
+  ?routers_per_stub:int ->
+  rng:Repro_util.Rng.t ->
+  n_endpoints:int ->
+  unit ->
+  t
+(** GATech-style topology. Endpoints attach to random stub routers by a
+    1 ms LAN link. Defaults give the paper's 5050 routers; pass smaller
+    dimensions for quick runs. *)
+
+val as_graph :
+  ?n_as:int ->
+  ?routers_per_as:int ->
+  ?hop_delay:float ->
+  rng:Repro_util.Rng.t ->
+  n_endpoints:int ->
+  unit ->
+  t
+(** Mercator-style topology: hierarchical AS overlay, proximity = hop
+    count (each hop costs [hop_delay] seconds, default 2 ms). Endpoints
+    attach directly to random routers. *)
+
+val corpnet :
+  ?n_routers:int ->
+  ?n_hubs:int ->
+  rng:Repro_util.Rng.t ->
+  n_endpoints:int ->
+  unit ->
+  t
+(** CorpNet-style topology: [n_hubs] WAN core routers (default 12) plus
+    campus routers (default total 298), endpoints on 1 ms LAN links. *)

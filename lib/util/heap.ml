@@ -1,0 +1,82 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~leq () = { leq; data = [||]; size = 0; next_seq = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+(* before-or-equal with FIFO tie-break on seq *)
+let entry_le t a b =
+  if t.leq a.value b.value then
+    if t.leq b.value a.value then a.seq <= b.seq else true
+  else false
+
+let grow t =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  let dummy = t.data.(0) in
+  let d = Array.make new_cap dummy in
+  Array.blit t.data 0 d 0 t.size;
+  t.data <- d
+
+let push t v =
+  let e = { value = v; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 e;
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    not (entry_le t t.data.(parent) t.data.(!i))
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(parent) in
+    t.data.(parent) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := parent
+  done
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && not (entry_le t t.data.(!smallest) t.data.(l)) then smallest := l;
+        if r < t.size && not (entry_le t t.data.(!smallest) t.data.(r)) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some top.value
+  end
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0

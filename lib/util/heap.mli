@@ -1,0 +1,20 @@
+(** Array-backed binary min-heap, polymorphic in the element type.
+
+    Ordering is supplied at creation time; ties are broken by insertion
+    order (earlier insertions pop first), which gives the simulator a
+    deterministic FIFO order for simultaneous events. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [leq a b] must hold when [a] sorts before-or-equal [b]. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val peek : 'a t -> 'a option
+val clear : 'a t -> unit

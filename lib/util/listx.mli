@@ -1,0 +1,4 @@
+(** Small list helpers shared across the reproduction. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (the whole list when shorter); [n <= 0] gives []. *)

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generator.
+
+    SplitMix64 core with convenience samplers. Every stochastic component
+    of the reproduction draws from an explicit [t] so that experiments are
+    reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Generators with equal seeds
+    produce equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each simulated node its own stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte uniformly random string. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Lognormal sample: [exp (mu + sigma * z)] with [z] standard normal. *)
+
+val normal : t -> mean:float -> stddev:float -> float
+
+val poisson : t -> mean:float -> int
+(** Poisson-distributed integer (Knuth for small means, normal
+    approximation above 30). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

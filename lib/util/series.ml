@@ -1,0 +1,46 @@
+type cell = { mutable sum : float; mutable n : int }
+type t = { window : float; cells : (int, cell) Hashtbl.t; mutable total : float; mutable samples : int }
+
+let create ~window =
+  if window <= 0.0 then invalid_arg "Series.create";
+  { window; cells = Hashtbl.create 64; total = 0.0; samples = 0 }
+
+let add t ~time v =
+  let idx = int_of_float (floor (time /. t.window)) in
+  let cell =
+    match Hashtbl.find_opt t.cells idx with
+    | Some c -> c
+    | None ->
+        let c = { sum = 0.0; n = 0 } in
+        Hashtbl.add t.cells idx c;
+        c
+  in
+  cell.sum <- cell.sum +. v;
+  cell.n <- cell.n + 1;
+  t.total <- t.total +. v;
+  t.samples <- t.samples + 1
+
+let count t ~time = add t ~time 1.0
+let window t = t.window
+
+let sorted_cells t =
+  let xs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cells [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) xs
+
+let mid t idx = (float_of_int idx +. 0.5) *. t.window
+
+let means t =
+  sorted_cells t
+  |> List.map (fun (idx, c) -> (mid t idx, c.sum /. float_of_int c.n))
+  |> Array.of_list
+
+let sums t =
+  sorted_cells t |> List.map (fun (idx, c) -> (mid t idx, c.sum)) |> Array.of_list
+
+let rates t =
+  sorted_cells t
+  |> List.map (fun (idx, c) -> (mid t idx, c.sum /. t.window))
+  |> Array.of_list
+
+let total t = t.total
+let n_samples t = t.samples

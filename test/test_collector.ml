@@ -1,0 +1,113 @@
+module Collector = Overlay_metrics.Collector
+module M = Mspastry.Message
+
+let test_lookup_lifecycle () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.set_population c ~time:0.0 4;
+  Collector.lookup_sent c ~seq:1 ~time:1.0;
+  Collector.lookup_sent c ~seq:2 ~time:2.0;
+  Collector.lookup_delivered c ~seq:1 ~time:1.5 ~correct:true ~direct_delay:0.25 ~hops:2;
+  (* seq 2 never delivered *)
+  let s = Collector.summary ~until:100.0 ~drain:0.0 c in
+  Alcotest.(check int) "sent" 2 s.Collector.lookups_sent;
+  Alcotest.(check int) "delivered" 1 s.Collector.lookups_delivered;
+  Alcotest.(check int) "lost" 1 s.Collector.lookups_lost;
+  Alcotest.(check (float 1e-9)) "loss rate" 0.5 s.Collector.loss_rate;
+  Alcotest.(check (float 1e-9)) "rdp" 2.0 s.Collector.rdp_mean;
+  Alcotest.(check (float 1e-9)) "delay" 0.5 s.Collector.delay_mean;
+  Alcotest.(check (float 1e-9)) "hops" 2.0 s.Collector.hops_mean
+
+let test_incorrect_and_duplicates () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.lookup_sent c ~seq:1 ~time:0.0;
+  Collector.lookup_delivered c ~seq:1 ~time:0.2 ~correct:true ~direct_delay:0.1 ~hops:1;
+  (* duplicate delivery at the wrong node *)
+  Collector.lookup_delivered c ~seq:1 ~time:0.4 ~correct:false ~direct_delay:0.1 ~hops:3;
+  let s = Collector.summary ~until:10.0 ~drain:0.0 c in
+  Alcotest.(check int) "one lookup delivered" 1 s.Collector.lookups_delivered;
+  Alcotest.(check int) "incorrect counted" 1 s.Collector.incorrect_deliveries;
+  (* delay stats use the first delivery only *)
+  Alcotest.(check (float 1e-9)) "rdp from first" 2.0 s.Collector.rdp_mean
+
+let test_drain_exclusion () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.lookup_sent c ~seq:1 ~time:95.0;
+  (* in flight at the end: excluded from loss accounting *)
+  let s = Collector.summary ~until:100.0 ~drain:30.0 c in
+  Alcotest.(check int) "not counted" 0 s.Collector.lookups_sent;
+  Alcotest.(check int) "not lost" 0 s.Collector.lookups_lost
+
+let test_control_rates () =
+  let c = Collector.create ~window:10.0 () in
+  (* 2 nodes for the whole first window *)
+  Collector.set_population c ~time:0.0 2;
+  (* 10 leaf-set messages in 10s over 2 nodes: 0.5 msg/s/node *)
+  for i = 0 to 9 do
+    Collector.record_send c ~time:(float_of_int i) M.C_leafset
+  done;
+  let s = Collector.summary ~until:10.0 c in
+  Alcotest.(check (float 1e-6)) "control rate" 0.5 s.Collector.control_per_node_per_s;
+  Alcotest.(check (float 1e-6)) "mean population" 2.0 s.Collector.mean_population;
+  let by_class = s.Collector.control_by_class in
+  Alcotest.(check (float 1e-6)) "leafset class" 0.5 (List.assoc M.C_leafset by_class);
+  Alcotest.(check (float 1e-6)) "rt class empty" 0.0 (List.assoc M.C_rt_probe by_class)
+
+let test_lookup_not_control () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.set_population c ~time:0.0 1;
+  Collector.record_send c ~time:1.0 M.C_lookup;
+  Collector.record_send c ~time:1.0 M.C_join;
+  let s = Collector.summary ~until:10.0 c in
+  Alcotest.(check (float 1e-6)) "only join counted" 0.1 s.Collector.control_per_node_per_s;
+  Alcotest.(check (float 1e-6)) "lookup msgs tracked" 1.0 s.Collector.lookup_msgs
+
+let test_population_series () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.set_population c ~time:0.0 4;
+  Collector.set_population c ~time:5.0 8;
+  Collector.set_population c ~time:20.0 0;
+  let pop = Collector.population_series c in
+  Alcotest.(check (float 1e-6)) "window 0 mean" 6.0 (snd pop.(0));
+  Alcotest.(check (float 1e-6)) "window 1 mean" 8.0 (snd pop.(1))
+
+let test_join_latencies () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.join_recorded c ~latency:2.0;
+  Collector.join_recorded c ~latency:4.0;
+  let s = Collector.summary ~until:10.0 c in
+  Alcotest.(check int) "joins" 2 s.Collector.joins;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Collector.join_latency_mean;
+  Alcotest.(check int) "raw array" 2 (Array.length (Collector.join_latencies c))
+
+let test_since_filter () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.set_population c ~time:0.0 1;
+  Collector.lookup_sent c ~seq:1 ~time:5.0;
+  Collector.lookup_sent c ~seq:2 ~time:25.0;
+  Collector.lookup_delivered c ~seq:2 ~time:25.5 ~correct:true ~direct_delay:0.5 ~hops:1;
+  let s = Collector.summary ~since:20.0 ~until:40.0 ~drain:0.0 c in
+  Alcotest.(check int) "only the second lookup" 1 s.Collector.lookups_sent;
+  Alcotest.(check int) "no loss" 0 s.Collector.lookups_lost
+
+let test_zero_direct_delay () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.lookup_sent c ~seq:1 ~time:0.0;
+  Collector.lookup_delivered c ~seq:1 ~time:0.1 ~correct:true ~direct_delay:0.0 ~hops:1;
+  let s = Collector.summary ~until:10.0 ~drain:0.0 c in
+  Alcotest.(check (float 1e-9)) "rdp defaults to 1" 1.0 s.Collector.rdp_mean
+
+let suite =
+  [
+    ( "collector",
+      [
+        Alcotest.test_case "lookup lifecycle" `Quick test_lookup_lifecycle;
+        Alcotest.test_case "incorrect and duplicates" `Quick test_incorrect_and_duplicates;
+        Alcotest.test_case "drain exclusion" `Quick test_drain_exclusion;
+        Alcotest.test_case "control rates" `Quick test_control_rates;
+        Alcotest.test_case "lookup is not control" `Quick test_lookup_not_control;
+        Alcotest.test_case "population series" `Quick test_population_series;
+        Alcotest.test_case "join latencies" `Quick test_join_latencies;
+        Alcotest.test_case "since filter" `Quick test_since_filter;
+        Alcotest.test_case "zero direct delay" `Quick test_zero_direct_delay;
+      ] );
+  ]

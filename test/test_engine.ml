@@ -1,0 +1,116 @@
+module Engine = Simkit.Engine
+
+let test_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> log := 2 :: !log));
+  Engine.run_all e;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Engine.now e)
+
+let test_fifo_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run_all e;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let ev = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel e ev;
+  Engine.run_all e;
+  Alcotest.(check bool) "not fired" false !fired;
+  (* double cancel is a no-op *)
+  Engine.cancel e ev;
+  Alcotest.(check int) "pending" 0 (Engine.pending e)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> log := 5 :: !log));
+  Engine.run e ~until:2.0;
+  Alcotest.(check (list int)) "only first" [ 1 ] !log;
+  Alcotest.(check (float 1e-9)) "clock advanced to until" 2.0 (Engine.now e);
+  Engine.run e ~until:10.0;
+  Alcotest.(check (list int)) "second fired" [ 5; 1 ] !log
+
+let test_schedule_inside_callback () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "inner" :: !log))));
+  Engine.run_all e;
+  Alcotest.(check (list string)) "nested" [ "inner"; "outer" ] !log;
+  Alcotest.(check (float 1e-9)) "clock" 2.0 (Engine.now e)
+
+let test_schedule_at_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> ()));
+  Engine.run_all e;
+  let fired_at = ref 0.0 in
+  ignore (Engine.schedule_at e ~time:1.0 (fun () -> fired_at := Engine.now e));
+  Engine.run_all e;
+  Alcotest.(check (float 1e-9)) "clamped to now" 5.0 !fired_at
+
+let test_negative_delay () =
+  let e = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule e ~delay:(-3.0) (fun () -> fired := true));
+  Engine.run_all e;
+  Alcotest.(check bool) "fires immediately" true !fired;
+  Alcotest.(check (float 1e-9)) "clock unchanged" 0.0 (Engine.now e)
+
+let test_pending_count () =
+  let e = Engine.create () in
+  let a = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Engine.pending e);
+  Engine.cancel e a;
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  Engine.run_all e;
+  Alcotest.(check int) "none pending" 0 (Engine.pending e)
+
+let test_max_events () =
+  let e = Engine.create () in
+  (* self-perpetuating event chain *)
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule e ~delay:1.0 tick)
+  in
+  ignore (Engine.schedule e ~delay:1.0 tick);
+  Engine.run_all ~max_events:50 e;
+  Alcotest.(check int) "bounded" 50 !count
+
+let test_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check bool) "drained" false (Engine.step e)
+
+let suite =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "time order" `Quick test_time_order;
+        Alcotest.test_case "FIFO at same time" `Quick test_fifo_same_time;
+        Alcotest.test_case "cancel" `Quick test_cancel;
+        Alcotest.test_case "run until" `Quick test_run_until;
+        Alcotest.test_case "schedule inside callback" `Quick test_schedule_inside_callback;
+        Alcotest.test_case "schedule_at in the past" `Quick test_schedule_at_past;
+        Alcotest.test_case "negative delay" `Quick test_negative_delay;
+        Alcotest.test_case "pending count" `Quick test_pending_count;
+        Alcotest.test_case "max events" `Quick test_max_events;
+        Alcotest.test_case "step" `Quick test_step;
+      ] );
+  ]

@@ -1,0 +1,105 @@
+(* Harness plumbing: topology factory, Live session bookkeeping, lookup
+   sequence allocation, graceful-vs-crash departures. *)
+
+module Sim = Harness.Sim
+module Live = Sim.Live
+module Node = Mspastry.Node
+module Rng = Repro_util.Rng
+
+let test_topology_factory () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun (kind, name) ->
+      let t = Sim.make_topology kind ~rng ~n_endpoints:16 in
+      Alcotest.(check string) "name" name (Topology.name t);
+      Alcotest.(check int) "endpoints" 16 (Topology.n_endpoints t))
+    [
+      (Sim.Gatech, "gatech");
+      (Sim.Mercator, "mercator");
+      (Sim.Corpnet, "corpnet");
+      (Sim.Flat 0.01, "constant");
+    ]
+
+let test_default_config_valid () =
+  let c = Sim.default_config in
+  Alcotest.(check bool) "pastry config valid" true
+    (Mspastry.Config.validate c.Sim.pastry = Ok ());
+  Alcotest.(check bool) "warmup before nothing" true (c.Sim.warmup > 0.0);
+  Alcotest.(check bool) "no loss by default" true (c.Sim.loss_rate = 0.0);
+  Alcotest.(check bool) "crash-only departures" true
+    (c.Sim.graceful_leave_fraction = 0.0)
+
+let flat () =
+  {
+    Sim.default_config with
+    topology = Sim.Flat 0.02;
+    lookup_rate = 0.0;
+    warmup = 0.0;
+    window = 60.0;
+  }
+
+let test_live_bookkeeping () =
+  let live = Live.create (flat ()) ~n_endpoints:16 in
+  Alcotest.(check int) "empty" 0 (Live.node_count live);
+  let n1 = Live.spawn live () in
+  Live.run_until live 10.0;
+  Alcotest.(check int) "bootstrap active" 1 (Live.node_count live);
+  let addr = (Node.me n1).Pastry.Peer.addr in
+  (match Live.find_node live ~addr with
+  | Some n -> Alcotest.(check bool) "find_node" true (n == n1)
+  | None -> Alcotest.fail "node not found");
+  Alcotest.(check bool) "unknown addr" true (Live.find_node live ~addr:999 = None);
+  Live.crash_node live n1;
+  Alcotest.(check int) "crash removes from oracle" 0 (Live.node_count live);
+  Alcotest.(check bool) "crash removes registry" true (Live.find_node live ~addr = None);
+  Alcotest.(check int) "created counter" 1 (Live.nodes_created live)
+
+let test_alloc_lookup_sequences () =
+  let live = Live.create (flat ()) ~n_endpoints:16 in
+  let a = Live.alloc_lookup live and b = Live.alloc_lookup live in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check bool) "monotone" true (b > a)
+
+let test_graceful_crash_node () =
+  let live = Live.create (flat ()) ~n_endpoints:16 in
+  let n1 = Live.spawn live () in
+  Live.run_until live 5.0;
+  let n2 = Live.spawn live () in
+  Live.run_until live 60.0;
+  Alcotest.(check int) "pair formed" 2 (Live.node_count live);
+  (* graceful departure: the survivor evicts without probe timeouts *)
+  Live.crash_node ~graceful:true live n2;
+  Live.run_until live 62.0;
+  Alcotest.(check bool) "survivor evicted the departed immediately" false
+    (Pastry.Leafset.mem (Node.leafset n1) (Node.me n2).Pastry.Peer.id)
+
+let test_spawn_at_schedules () =
+  let live = Live.create (flat ()) ~n_endpoints:16 in
+  Live.spawn_at live ~time:5.0 ();
+  Live.spawn_at live ~time:10.0 ();
+  Live.run_until live 4.0;
+  Alcotest.(check int) "nothing yet" 0 (Live.node_count live);
+  Live.run_until live 60.0;
+  Alcotest.(check int) "both up" 2 (Live.node_count live)
+
+let test_live_of_trace_runs () =
+  let trace =
+    Churn.Trace.poisson (Rng.create 2) ~n_avg:20 ~session_mean:600.0 ~duration:900.0
+  in
+  let live = Sim.live_of_trace (flat ()) ~trace in
+  Live.run_until live 900.0;
+  Alcotest.(check bool) "population formed" true (Live.node_count live > 5)
+
+let suite =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "topology factory" `Quick test_topology_factory;
+        Alcotest.test_case "default config valid" `Quick test_default_config_valid;
+        Alcotest.test_case "live bookkeeping" `Quick test_live_bookkeeping;
+        Alcotest.test_case "lookup sequence allocation" `Quick test_alloc_lookup_sequences;
+        Alcotest.test_case "graceful crash_node" `Quick test_graceful_crash_node;
+        Alcotest.test_case "spawn_at schedules" `Quick test_spawn_at_schedules;
+        Alcotest.test_case "live_of_trace" `Quick test_live_of_trace_runs;
+      ] );
+  ]

@@ -1,0 +1,95 @@
+module Heap = Repro_util.Heap
+module Rng = Repro_util.Rng
+
+let test_basic () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Heap.push h 2;
+  Alcotest.(check int) "size" 3 (Heap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_peek_nondestructive () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  Heap.push h 7;
+  Alcotest.(check (option int)) "peek" (Some 7) (Heap.peek h);
+  Alcotest.(check int) "size unchanged" 1 (Heap.size h)
+
+let test_fifo_ties () =
+  (* elements compare equal on key; insertion order must be preserved *)
+  let h = Heap.create ~leq:(fun (a, _) (b, _) -> a <= b) () in
+  for i = 0 to 19 do
+    Heap.push h (0, i)
+  done;
+  for i = 0 to 19 do
+    match Heap.pop h with
+    | Some (_, v) -> Alcotest.(check int) "fifo order" i v
+    | None -> Alcotest.fail "premature empty"
+  done
+
+let test_mixed_ties () =
+  let h = Heap.create ~leq:(fun (a, _) (b, _) -> a <= b) () in
+  Heap.push h (1, "a");
+  Heap.push h (0, "b");
+  Heap.push h (1, "c");
+  Heap.push h (0, "d");
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "keys then fifo" [ "b"; "d"; "a"; "c" ] order
+
+let test_clear () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  Heap.push h 1;
+  Heap.push h 2;
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.push h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
+
+let test_interleaved () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  let rng = Rng.create 99 in
+  let reference = ref [] in
+  for _ = 1 to 2000 do
+    if Rng.bool rng || !reference = [] then begin
+      let v = Rng.int rng 1000 in
+      Heap.push h v;
+      reference := List.sort compare (v :: !reference)
+    end
+    else begin
+      match (Heap.pop h, !reference) with
+      | Some v, r :: rest ->
+          Alcotest.(check int) "pop is min" r v;
+          reference := rest
+      | _ -> Alcotest.fail "mismatch"
+    end
+  done
+
+let qcheck_sorted_drain =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with Some v -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+let suite =
+  [
+    ( "heap",
+      [
+        Alcotest.test_case "basic order" `Quick test_basic;
+        Alcotest.test_case "peek non-destructive" `Quick test_peek_nondestructive;
+        Alcotest.test_case "FIFO tie-break" `Quick test_fifo_ties;
+        Alcotest.test_case "mixed keys and ties" `Quick test_mixed_ties;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+        QCheck_alcotest.to_alcotest qcheck_sorted_drain;
+      ] );
+  ]

@@ -1,0 +1,202 @@
+module Nodeid = Pastry.Nodeid
+module Peer = Pastry.Peer
+module Leafset = Pastry.Leafset
+module Rng = Repro_util.Rng
+
+let peer i = Peer.make (Nodeid.of_int i) i
+
+let ls ?(l = 8) me_i =
+  Leafset.create ~l ~me:(peer me_i)
+
+let ids_of peers = List.map (fun p -> Nodeid.to_hex p.Peer.id) peers
+
+let test_create_validation () =
+  Alcotest.check_raises "odd l" (Invalid_argument "Leafset.create: l must be even and >= 2")
+    (fun () -> ignore (ls ~l:3 0))
+
+let test_add_remove_mem () =
+  let t = ls 100 in
+  Alcotest.(check bool) "added" true (Leafset.add t (peer 90));
+  Alcotest.(check bool) "mem" true (Leafset.mem t (Nodeid.of_int 90));
+  Alcotest.(check bool) "duplicate" false (Leafset.add t (peer 90));
+  Alcotest.(check bool) "self ignored" false (Leafset.add t (peer 100));
+  Alcotest.(check bool) "removed" true (Leafset.remove t (Nodeid.of_int 90));
+  Alcotest.(check bool) "gone" false (Leafset.mem t (Nodeid.of_int 90));
+  Alcotest.(check bool) "remove absent" false (Leafset.remove t (Nodeid.of_int 90))
+
+let test_neighbor_ordering () =
+  (* me=100; ring neighbours 90,95 (left) and 105,110 (right); l=4 keeps
+     the sides exact (larger l would wrap this tiny ring) *)
+  let t = ls ~l:4 100 in
+  List.iter (fun i -> ignore (Leafset.add t (peer i))) [ 90; 110; 95; 105 ];
+  let get = function Some p -> p.Peer.addr | None -> -1 in
+  Alcotest.(check int) "left neighbor" 95 (get (Leafset.left_neighbor t));
+  Alcotest.(check int) "right neighbor" 105 (get (Leafset.right_neighbor t));
+  Alcotest.(check int) "leftmost" 90 (get (Leafset.leftmost t));
+  Alcotest.(check int) "rightmost" 110 (get (Leafset.rightmost t))
+
+let test_capacity_trim () =
+  (* l=4 -> 2 per side; the closest two on each side must win *)
+  let t = ls ~l:4 100 in
+  List.iter (fun i -> ignore (Leafset.add t (peer i))) [ 80; 90; 95; 105; 110; 120 ];
+  Alcotest.(check int) "left size" 2 (Leafset.left_size t);
+  Alcotest.(check int) "right size" 2 (Leafset.right_size t);
+  Alcotest.(check bool) "80 evicted" false (Leafset.mem t (Nodeid.of_int 80));
+  Alcotest.(check bool) "95 kept" true (Leafset.mem t (Nodeid.of_int 95));
+  Alcotest.(check bool) "120 evicted" false (Leafset.mem t (Nodeid.of_int 120))
+
+let test_wrap_small_ring () =
+  (* 3-node ring with l=8: all other nodes appear on both sides *)
+  let t = ls 100 in
+  ignore (Leafset.add t (peer 10));
+  ignore (Leafset.add t (peer 200));
+  Alcotest.(check bool) "wraps" true (Leafset.wraps t);
+  Alcotest.(check bool) "complete via wrap" true (Leafset.complete t);
+  Alcotest.(check int) "two distinct members" 2 (Leafset.size t)
+
+let test_complete () =
+  let t = ls ~l:4 100 in
+  Alcotest.(check bool) "empty is complete (singleton)" true (Leafset.complete t);
+  ignore (Leafset.add t (peer 90));
+  (* one member, appears on both sides -> wrap -> complete *)
+  Alcotest.(check bool) "two-node ring complete" true (Leafset.complete t);
+  (* large ring: fill both sides *)
+  let t = ls ~l:4 1000 in
+  List.iter
+    (fun i -> ignore (Leafset.add t (peer i)))
+    [ 900; 950; 1050; 1100; 10; 2000; 3000; 4000; 5000 ];
+  Alcotest.(check bool) "full sides complete" true (Leafset.complete t)
+
+let test_covers () =
+  let t = ls ~l:4 100 in
+  List.iter (fun i -> ignore (Leafset.add t (peer i))) [ 80; 90; 110; 120; 150; 60 ];
+  Alcotest.(check bool) "inside arc" true (Leafset.covers t (Nodeid.of_int 105));
+  Alcotest.(check bool) "at me" true (Leafset.covers t (Nodeid.of_int 100));
+  Alcotest.(check bool) "outside" false (Leafset.covers t (Nodeid.of_int 500));
+  (* singleton covers everything *)
+  let t1 = ls 5 in
+  Alcotest.(check bool) "singleton covers" true (Leafset.covers t1 (Nodeid.of_int 99999))
+
+let test_closest () =
+  let t = ls ~l:8 100 in
+  List.iter (fun i -> ignore (Leafset.add t (peer i))) [ 90; 95; 105; 110 ];
+  Alcotest.(check int) "key 104 -> 105" 105 (Leafset.closest t (Nodeid.of_int 104)).Peer.addr;
+  Alcotest.(check int) "key 99 -> me" 100 (Leafset.closest t (Nodeid.of_int 99)).Peer.addr;
+  Alcotest.(check int) "key 92 -> 90 (tie: smaller id)" 90
+    (Leafset.closest t (Nodeid.of_int 92)).Peer.addr
+
+let test_closest_excluding () =
+  let t = ls ~l:8 100 in
+  List.iter (fun i -> ignore (Leafset.add t (peer i))) [ 90; 95; 105; 110 ];
+  let excl id = Nodeid.equal id (Nodeid.of_int 105) in
+  match Leafset.closest_excluding t (Nodeid.of_int 104) ~excluded:excl with
+  | Some p -> Alcotest.(check bool) "next best" true (p.Peer.addr = 100 || p.Peer.addr = 110)
+  | None -> Alcotest.fail "expected candidate"
+
+let test_would_admit_matches_add () =
+  let rng = Rng.create 55 in
+  for _ = 1 to 100 do
+    let me = Nodeid.random rng in
+    let t = Leafset.create ~l:8 ~me:(Peer.make me 0) in
+    for k = 1 to 12 do
+      ignore (Leafset.add t (Peer.make (Nodeid.random rng) k))
+    done;
+    let candidate = Nodeid.random rng in
+    let predicted = Leafset.would_admit t candidate in
+    let actual = Leafset.add t (Peer.make candidate 99) in
+    Alcotest.(check bool) "would_admit = add changes" predicted actual
+  done
+
+let test_members_dedup () =
+  let t = ls 100 in
+  ignore (Leafset.add t (peer 10));
+  ignore (Leafset.add t (peer 200));
+  (* both appear on both sides; members must be distinct *)
+  let ms = List.sort_uniq compare (ids_of (Leafset.members t)) in
+  Alcotest.(check int) "distinct" (List.length ms) (List.length (Leafset.members t))
+
+(* brute-force oracle comparison for closest *)
+let qcheck_closest_oracle =
+  QCheck.Test.make ~name:"closest matches brute force" ~count:200
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 12) small_int))
+    (fun (seed, _) ->
+      let rng = Rng.create seed in
+      let me = Nodeid.random rng in
+      let t = Leafset.create ~l:32 ~me:(Peer.make me 0) in
+      let members = List.init 10 (fun k -> Peer.make (Nodeid.random rng) (k + 1)) in
+      List.iter (fun p -> ignore (Leafset.add t p)) members;
+      let key = Nodeid.random rng in
+      let best = Leafset.closest t key in
+      (* with l=32 and 10 members nothing is evicted: compare against all *)
+      List.for_all
+        (fun p ->
+          Peer.equal p best || not (Nodeid.closer ~key p.Peer.id best.Peer.id))
+        (Peer.make me 0 :: members))
+
+(* model-based check: after any sequence of adds, each side must equal
+   the closest-per-side prefix of a naive sorted model. (Removals are
+   excluded on purpose: a real leaf set cannot resurrect nodes it evicted
+   earlier, so after a removal it legitimately knows less than the
+   model.) *)
+let qcheck_model_sides =
+  QCheck.Test.make ~name:"sides match naive model" ~count:200 QCheck.int (fun seed ->
+      let rng = Rng.create seed in
+      let me = Nodeid.random rng in
+      let l = 8 in
+      let t = Leafset.create ~l ~me:(Peer.make me 0) in
+      let model = Hashtbl.create 16 in
+      let ops = 30 + Rng.int rng 30 in
+      for k = 1 to ops do
+        let id = Nodeid.random rng in
+        if not (Nodeid.equal id me) then begin
+          ignore (Leafset.add t (Peer.make id k));
+          Hashtbl.replace model id ()
+        end
+      done;
+      let ids = Hashtbl.fold (fun id () acc -> id :: acc) model [] in
+      let by_cw =
+        List.sort
+          (fun a b -> Nodeid.compare (Nodeid.cw_dist me a) (Nodeid.cw_dist me b))
+          ids
+      in
+      let by_ccw =
+        List.sort
+          (fun a b -> Nodeid.compare (Nodeid.cw_dist a me) (Nodeid.cw_dist b me))
+          ids
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: r -> x :: take (n - 1) r
+      in
+      let expect_right = take (l / 2) by_cw and expect_left = take (l / 2) by_ccw in
+      (* leaf set must contain exactly the union of the two prefixes *)
+      let expected =
+        List.sort_uniq Nodeid.compare (expect_left @ expect_right)
+      in
+      let actual =
+        List.sort_uniq Nodeid.compare
+          (List.map (fun p -> p.Peer.id) (Leafset.members t))
+      in
+      List.length expected = List.length actual
+      && List.for_all2 Nodeid.equal expected actual)
+
+let suite =
+  [
+    ( "leafset",
+      [
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "add/remove/mem" `Quick test_add_remove_mem;
+        Alcotest.test_case "neighbor ordering" `Quick test_neighbor_ordering;
+        Alcotest.test_case "capacity trim" `Quick test_capacity_trim;
+        Alcotest.test_case "wrap on small ring" `Quick test_wrap_small_ring;
+        Alcotest.test_case "completeness" `Quick test_complete;
+        Alcotest.test_case "covers" `Quick test_covers;
+        Alcotest.test_case "closest with tie-break" `Quick test_closest;
+        Alcotest.test_case "closest excluding" `Quick test_closest_excluding;
+        Alcotest.test_case "would_admit matches add" `Quick test_would_admit_matches_add;
+        Alcotest.test_case "members dedup" `Quick test_members_dedup;
+        QCheck_alcotest.to_alcotest qcheck_closest_oracle;
+        QCheck_alcotest.to_alcotest qcheck_model_sides;
+      ] );
+  ]

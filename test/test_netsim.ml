@@ -1,0 +1,116 @@
+module Engine = Simkit.Engine
+module Net = Netsim.Net
+module Rng = Repro_util.Rng
+
+let make ?(loss_rate = 0.0) ?(delay = 0.01) ?(n = 8) () =
+  let engine = Engine.create () in
+  let topology = Topology.constant ~n_endpoints:n ~delay in
+  let net = Net.create ~loss_rate ~engine ~topology ~rng:(Rng.create 1) () in
+  (engine, net)
+
+let test_delivery_with_delay () =
+  let engine, net = make () in
+  let got = ref [] in
+  Net.register net ~addr:1 (fun ~src msg -> got := (src, msg, Engine.now engine) :: !got);
+  Net.send net ~src:0 ~dst:1 "hello";
+  Engine.run_all engine;
+  match !got with
+  | [ (src, msg, at) ] ->
+      Alcotest.(check int) "src" 0 src;
+      Alcotest.(check string) "payload" "hello" msg;
+      Alcotest.(check (float 1e-9)) "propagation delay" 0.01 at
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_unregistered_dropped () =
+  let engine, net = make () in
+  Net.send net ~src:0 ~dst:5 "lost";
+  Engine.run_all engine;
+  Alcotest.(check int) "dropped" 1 (Net.n_dropped net);
+  Alcotest.(check int) "sent" 1 (Net.n_sent net);
+  Alcotest.(check int) "delivered" 0 (Net.n_delivered net)
+
+let test_crash_after_send () =
+  let engine, net = make () in
+  let got = ref 0 in
+  Net.register net ~addr:1 (fun ~src:_ _ -> incr got);
+  Net.send net ~src:0 ~dst:1 "in flight";
+  (* crash before the message arrives *)
+  Net.unregister net ~addr:1;
+  Engine.run_all engine;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "dropped" 1 (Net.n_dropped net)
+
+let test_loss_statistics () =
+  let engine, net = make ~loss_rate:0.5 () in
+  let got = ref 0 in
+  Net.register net ~addr:1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 2000 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run_all engine;
+  Alcotest.(check bool) "about half lost" true (!got > 850 && !got < 1150)
+
+let test_loss_rate_validation () =
+  Alcotest.check_raises "loss 1.0" (Invalid_argument "Net.create: loss_rate") (fun () ->
+      ignore (make ~loss_rate:1.0 ()))
+
+let test_on_send_tap () =
+  let engine, net = make () in
+  let taps = ref [] in
+  Net.on_send net (fun ~time ~src ~dst msg -> taps := (time, src, dst, msg) :: !taps);
+  Net.register net ~addr:2 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:2 "a";
+  Net.send net ~src:1 ~dst:7 "b";
+  (* tap sees even undeliverable sends *)
+  Engine.run_all engine;
+  Alcotest.(check int) "tap count" 2 (List.length !taps)
+
+let test_endpoint_mapping () =
+  let engine = Engine.create () in
+  let topology = Topology.constant ~n_endpoints:2 ~delay:0.5 in
+  (* addresses 0,2 share endpoint 0; address 1 is endpoint 1 *)
+  let net =
+    Net.create ~endpoint_of:(fun a -> a mod 2) ~engine ~topology ~rng:(Rng.create 1) ()
+  in
+  Alcotest.(check (float 1e-9)) "cross endpoint" 0.5 (Net.delay net 0 1);
+  Alcotest.(check bool) "same endpoint, distinct addr: small LAN delay" true
+    (Net.delay net 0 2 > 0.0 && Net.delay net 0 2 < 0.01);
+  Alcotest.(check (float 1e-9)) "self" 0.0 (Net.delay net 0 0)
+
+let test_set_loss_rate () =
+  let engine, net = make () in
+  let got = ref 0 in
+  Net.register net ~addr:1 (fun ~src:_ _ -> incr got);
+  Net.set_loss_rate net 0.999;
+  Alcotest.(check (float 1e-9)) "getter" 0.999 (Net.loss_rate net);
+  for _ = 1 to 200 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run_all engine;
+  Alcotest.(check bool) "almost all lost" true (!got < 10)
+
+let test_handler_replacement () =
+  let engine, net = make () in
+  let a = ref 0 and b = ref 0 in
+  Net.register net ~addr:1 (fun ~src:_ _ -> incr a);
+  Net.register net ~addr:1 (fun ~src:_ _ -> incr b);
+  Net.send net ~src:0 ~dst:1 "x";
+  Engine.run_all engine;
+  Alcotest.(check int) "old handler silent" 0 !a;
+  Alcotest.(check int) "new handler fired" 1 !b
+
+let suite =
+  [
+    ( "netsim",
+      [
+        Alcotest.test_case "delivery with delay" `Quick test_delivery_with_delay;
+        Alcotest.test_case "unregistered dropped" `Quick test_unregistered_dropped;
+        Alcotest.test_case "crash drops in-flight" `Quick test_crash_after_send;
+        Alcotest.test_case "loss statistics" `Quick test_loss_statistics;
+        Alcotest.test_case "loss rate validation" `Quick test_loss_rate_validation;
+        Alcotest.test_case "on_send tap" `Quick test_on_send_tap;
+        Alcotest.test_case "endpoint mapping" `Quick test_endpoint_mapping;
+        Alcotest.test_case "set loss rate" `Quick test_set_loss_rate;
+        Alcotest.test_case "handler replacement" `Quick test_handler_replacement;
+      ] );
+  ]

@@ -1,0 +1,177 @@
+module Nodeid = Pastry.Nodeid
+module Rng = Repro_util.Rng
+
+let id_of_hex = Nodeid.of_hex
+
+let zeros = String.make 32 '0'
+
+let hex_with prefix =
+  prefix ^ String.sub zeros 0 (32 - String.length prefix)
+
+let test_hex_roundtrip () =
+  let h = "0123456789abcdef0123456789abcdef" in
+  Alcotest.(check string) "roundtrip" h (Nodeid.to_hex (id_of_hex h))
+
+let test_of_hex_validation () =
+  Alcotest.check_raises "short" (Invalid_argument "Nodeid.of_hex: need 32 hex chars")
+    (fun () -> ignore (id_of_hex "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Nodeid.of_hex: bad hex digit")
+    (fun () -> ignore (id_of_hex (hex_with "zz")))
+
+let test_compare_numeric () =
+  let a = id_of_hex (hex_with "01") and b = id_of_hex (hex_with "02") in
+  Alcotest.(check bool) "a < b" true (Nodeid.compare a b < 0);
+  Alcotest.(check bool) "equal" true (Nodeid.equal a a);
+  Alcotest.(check bool) "zero min" true (Nodeid.compare Nodeid.zero a < 0);
+  Alcotest.(check bool) "max max" true (Nodeid.compare a Nodeid.max_value < 0)
+
+let test_of_int () =
+  let five = Nodeid.of_int 5 in
+  Alcotest.(check string) "low bytes" "00000000000000000000000000000005"
+    (Nodeid.to_hex five);
+  Alcotest.(check bool) "zero" true (Nodeid.equal (Nodeid.of_int 0) Nodeid.zero)
+
+let test_num_digits () =
+  Alcotest.(check int) "b=4" 32 (Nodeid.num_digits ~b:4);
+  Alcotest.(check int) "b=1" 128 (Nodeid.num_digits ~b:1);
+  Alcotest.(check int) "b=3 ceil" 43 (Nodeid.num_digits ~b:3);
+  Alcotest.(check int) "b=5 ceil" 26 (Nodeid.num_digits ~b:5)
+
+let test_digit_b4_matches_hex () =
+  let h = "0123456789abcdef0123456789abcdef" in
+  let id = id_of_hex h in
+  String.iteri
+    (fun i c ->
+      let expected = int_of_string (Printf.sprintf "0x%c" c) in
+      Alcotest.(check int) (Printf.sprintf "digit %d" i) expected (Nodeid.digit ~b:4 id i))
+    h
+
+let test_digit_b1_is_bits () =
+  let id = id_of_hex (hex_with "80") in
+  Alcotest.(check int) "first bit" 1 (Nodeid.digit ~b:1 id 0);
+  Alcotest.(check int) "second bit" 0 (Nodeid.digit ~b:1 id 1)
+
+let test_shared_prefix () =
+  let a = id_of_hex (hex_with "abcd") and b = id_of_hex (hex_with "abce") in
+  Alcotest.(check int) "b=4: 3 digits" 3 (Nodeid.shared_prefix_length ~b:4 a b);
+  Alcotest.(check int) "self" 32 (Nodeid.shared_prefix_length ~b:4 a a)
+
+let test_add_sub () =
+  let one = Nodeid.of_int 1 in
+  Alcotest.(check bool) "max + 1 = 0" true
+    (Nodeid.equal (Nodeid.add Nodeid.max_value one) Nodeid.zero);
+  Alcotest.(check bool) "0 - 1 = max" true
+    (Nodeid.equal (Nodeid.sub Nodeid.zero one) Nodeid.max_value)
+
+let test_cw_dist () =
+  let a = Nodeid.of_int 10 and b = Nodeid.of_int 13 in
+  Alcotest.(check bool) "cw a b = 3" true
+    (Nodeid.equal (Nodeid.cw_dist a b) (Nodeid.of_int 3));
+  (* the other way wraps all the way round *)
+  Alcotest.(check bool) "cw b a large" true
+    (Nodeid.compare (Nodeid.cw_dist b a) (Nodeid.of_int 1000000) > 0)
+
+let test_ring_dist_symmetric () =
+  let a = Nodeid.of_int 10 and b = Nodeid.of_int 13 in
+  Alcotest.(check bool) "symmetric" true
+    (Nodeid.equal (Nodeid.ring_dist a b) (Nodeid.ring_dist b a));
+  Alcotest.(check bool) "is 3" true
+    (Nodeid.equal (Nodeid.ring_dist a b) (Nodeid.of_int 3))
+
+let test_in_cw_arc () =
+  let a = Nodeid.of_int 10 and b = Nodeid.of_int 20 in
+  Alcotest.(check bool) "inside" true (Nodeid.in_cw_arc ~from:a ~til:b (Nodeid.of_int 15));
+  Alcotest.(check bool) "endpoint til" true (Nodeid.in_cw_arc ~from:a ~til:b b);
+  Alcotest.(check bool) "endpoint from" true (Nodeid.in_cw_arc ~from:a ~til:b a);
+  Alcotest.(check bool) "outside" false (Nodeid.in_cw_arc ~from:a ~til:b (Nodeid.of_int 25));
+  (* arc that wraps zero *)
+  Alcotest.(check bool) "wrap inside" true
+    (Nodeid.in_cw_arc ~from:(Nodeid.sub Nodeid.zero (Nodeid.of_int 5)) ~til:(Nodeid.of_int 5)
+       (Nodeid.of_int 1))
+
+let test_closer_tiebreak () =
+  (* two nodes exactly equidistant: the numerically smaller id wins *)
+  let key = Nodeid.of_int 10 in
+  let a = Nodeid.of_int 8 and b = Nodeid.of_int 12 in
+  Alcotest.(check bool) "a beats b" true (Nodeid.closer ~key a b);
+  Alcotest.(check bool) "b loses to a" false (Nodeid.closer ~key b a);
+  Alcotest.(check bool) "irreflexive" false (Nodeid.closer ~key a a)
+
+let test_to_float () =
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Nodeid.to_float Nodeid.zero);
+  Alcotest.(check (float 0.0)) "small" 255.0 (Nodeid.to_float (Nodeid.of_int 255));
+  Alcotest.(check bool) "max near 2^128" true
+    (Nodeid.to_float Nodeid.max_value > 3.4e38)
+
+let random_id =
+  QCheck.make
+    ~print:(fun id -> Nodeid.to_hex id)
+    (QCheck.Gen.map
+       (fun seed -> Nodeid.random (Rng.create seed))
+       QCheck.Gen.int)
+
+let qcheck_add_sub_inverse =
+  QCheck.Test.make ~name:"sub (add a b) b = a" ~count:300 (QCheck.pair random_id random_id)
+    (fun (a, b) -> Nodeid.equal (Nodeid.sub (Nodeid.add a b) b) a)
+
+let qcheck_cw_antisym =
+  QCheck.Test.make ~name:"cw a b + cw b a = 0 (mod 2^128)" ~count:300
+    (QCheck.pair random_id random_id) (fun (a, b) ->
+      Nodeid.equal (Nodeid.add (Nodeid.cw_dist a b) (Nodeid.cw_dist b a)) Nodeid.zero)
+
+let qcheck_prefix_symmetric =
+  QCheck.Test.make ~name:"shared prefix symmetric" ~count:300
+    (QCheck.pair random_id random_id) (fun (a, b) ->
+      Nodeid.shared_prefix_length ~b:4 a b = Nodeid.shared_prefix_length ~b:4 b a)
+
+let qcheck_digit_range =
+  QCheck.Test.make ~name:"digits within base" ~count:200 random_id (fun id ->
+      let ok = ref true in
+      List.iter
+        (fun b ->
+          for i = 0 to Nodeid.num_digits ~b - 1 do
+            let d = Nodeid.digit ~b id i in
+            if d < 0 || d >= 1 lsl b then ok := false
+          done)
+        [ 1; 2; 3; 4; 5; 8 ];
+      !ok)
+
+let qcheck_closer_total =
+  QCheck.Test.make ~name:"closer is a strict total order between distinct ids" ~count:300
+    (QCheck.triple random_id random_id random_id) (fun (key, a, b) ->
+      if Nodeid.equal a b then not (Nodeid.closer ~key a b)
+      else Nodeid.closer ~key a b <> Nodeid.closer ~key b a)
+
+let qcheck_to_float_monotone =
+  QCheck.Test.make ~name:"to_float order-consistent" ~count:300
+    (QCheck.pair random_id random_id) (fun (a, b) ->
+      let c = Nodeid.compare a b in
+      let fa = Nodeid.to_float a and fb = Nodeid.to_float b in
+      if c < 0 then fa <= fb else if c > 0 then fa >= fb else fa = fb)
+
+let suite =
+  [
+    ( "nodeid",
+      [
+        Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "of_hex validation" `Quick test_of_hex_validation;
+        Alcotest.test_case "compare is numeric" `Quick test_compare_numeric;
+        Alcotest.test_case "of_int" `Quick test_of_int;
+        Alcotest.test_case "num_digits" `Quick test_num_digits;
+        Alcotest.test_case "digit (b=4) matches hex" `Quick test_digit_b4_matches_hex;
+        Alcotest.test_case "digit (b=1) is bits" `Quick test_digit_b1_is_bits;
+        Alcotest.test_case "shared prefix" `Quick test_shared_prefix;
+        Alcotest.test_case "modular add/sub" `Quick test_add_sub;
+        Alcotest.test_case "clockwise distance" `Quick test_cw_dist;
+        Alcotest.test_case "ring distance symmetric" `Quick test_ring_dist_symmetric;
+        Alcotest.test_case "clockwise arcs" `Quick test_in_cw_arc;
+        Alcotest.test_case "closer tie-break" `Quick test_closer_tiebreak;
+        Alcotest.test_case "to_float" `Quick test_to_float;
+        QCheck_alcotest.to_alcotest qcheck_add_sub_inverse;
+        QCheck_alcotest.to_alcotest qcheck_cw_antisym;
+        QCheck_alcotest.to_alcotest qcheck_prefix_symmetric;
+        QCheck_alcotest.to_alcotest qcheck_digit_range;
+        QCheck_alcotest.to_alcotest qcheck_closer_total;
+        QCheck_alcotest.to_alcotest qcheck_to_float_monotone;
+      ] );
+  ]

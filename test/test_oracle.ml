@@ -1,0 +1,80 @@
+module Oracle = Harness.Oracle
+module Nodeid = Pastry.Nodeid
+module Rng = Repro_util.Rng
+
+let test_empty () =
+  let o = Oracle.create () in
+  Alcotest.(check int) "size" 0 (Oracle.size o);
+  Alcotest.(check bool) "closest none" true (Oracle.closest o (Nodeid.of_int 5) = None)
+
+let test_add_remove () =
+  let o = Oracle.create () in
+  Oracle.add o (Nodeid.of_int 10) 1;
+  Oracle.add o (Nodeid.of_int 20) 2;
+  Alcotest.(check int) "size" 2 (Oracle.size o);
+  Alcotest.(check bool) "mem" true (Oracle.mem o (Nodeid.of_int 10));
+  Oracle.remove o (Nodeid.of_int 10);
+  Alcotest.(check bool) "removed" false (Oracle.mem o (Nodeid.of_int 10));
+  Alcotest.(check int) "size" 1 (Oracle.size o)
+
+let test_closest_simple () =
+  let o = Oracle.create () in
+  Oracle.add o (Nodeid.of_int 10) 1;
+  Oracle.add o (Nodeid.of_int 100) 2;
+  (match Oracle.closest o (Nodeid.of_int 12) with
+  | Some (_, addr) -> Alcotest.(check int) "nearest" 1 addr
+  | None -> Alcotest.fail "expected owner");
+  match Oracle.closest o (Nodeid.of_int 90) with
+  | Some (_, addr) -> Alcotest.(check int) "nearest" 2 addr
+  | None -> Alcotest.fail "expected owner"
+
+let test_closest_wraps () =
+  let o = Oracle.create () in
+  (* nodes near both ends of the id space; a key at the very top should
+     wrap to the low node if it is ring-closer *)
+  Oracle.add o (Nodeid.of_int 5) 1;
+  let high = Nodeid.sub Nodeid.zero (Nodeid.of_int 100) in
+  Oracle.add o high 2;
+  (* key = -2 mod 2^128: distance 7 to node 5 (wrapping), 98 to high *)
+  let key = Nodeid.sub Nodeid.zero (Nodeid.of_int 2) in
+  match Oracle.closest o key with
+  | Some (_, addr) -> Alcotest.(check int) "wrapped" 1 addr
+  | None -> Alcotest.fail "expected owner"
+
+let test_closest_tiebreak () =
+  let o = Oracle.create () in
+  Oracle.add o (Nodeid.of_int 8) 1;
+  Oracle.add o (Nodeid.of_int 12) 2;
+  (* key 10 equidistant: numerically smaller id (8) wins, matching
+     Nodeid.closer *)
+  match Oracle.closest o (Nodeid.of_int 10) with
+  | Some (_, addr) -> Alcotest.(check int) "tie to smaller id" 1 addr
+  | None -> Alcotest.fail "expected owner"
+
+let qcheck_matches_bruteforce =
+  QCheck.Test.make ~name:"oracle matches brute force" ~count:300 QCheck.int (fun seed ->
+      let rng = Rng.create seed in
+      let o = Oracle.create () in
+      let n = 1 + Rng.int rng 20 in
+      let ids = List.init n (fun k -> (Nodeid.random rng, k)) in
+      List.iter (fun (id, a) -> Oracle.add o id a) ids;
+      let key = Nodeid.random rng in
+      match Oracle.closest o key with
+      | None -> false
+      | Some (best, _) ->
+          List.for_all
+            (fun (id, _) -> Nodeid.equal id best || not (Nodeid.closer ~key id best))
+            ids)
+
+let suite =
+  [
+    ( "oracle",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "add/remove" `Quick test_add_remove;
+        Alcotest.test_case "closest simple" `Quick test_closest_simple;
+        Alcotest.test_case "closest wraps" `Quick test_closest_wraps;
+        Alcotest.test_case "closest tie-break" `Quick test_closest_tiebreak;
+        QCheck_alcotest.to_alcotest qcheck_matches_bruteforce;
+      ] );
+  ]

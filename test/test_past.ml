@@ -1,0 +1,141 @@
+module Sim = Harness.Sim
+module Live = Sim.Live
+module Node = Mspastry.Node
+module Past = Past_store.Past
+module Rng = Repro_util.Rng
+
+let build_overlay ?(seed = 42) n =
+  let config =
+    {
+      Sim.default_config with
+      topology = Sim.Flat 0.02;
+      seed;
+      lookup_rate = 0.0;
+      warmup = 0.0;
+      window = 60.0;
+    }
+  in
+  let live = Live.create config ~n_endpoints:(max 8 n) in
+  for i = 0 to n - 1 do
+    Live.spawn_at live ~time:(float_of_int i *. 5.0) ()
+  done;
+  Live.run_until live ((float_of_int n *. 5.0) +. 120.0);
+  live
+
+let advance live dt =
+  Live.run_until live (Simkit.Engine.now (Live.engine live) +. dt)
+
+let test_put_get () =
+  let live = build_overlay 16 in
+  let store = Past.create ~live () in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Past.put store ~client:nodes.(0) ~key:"alpha" ~value:"1";
+  advance live 5.0;
+  let s = Past.stats store in
+  Alcotest.(check int) "put stored" 1 s.Past.put_acks;
+  Past.get store ~client:nodes.(5) ~key:"alpha";
+  advance live 5.0;
+  let s = Past.stats store in
+  Alcotest.(check int) "get hit" 1 s.Past.get_hits;
+  Alcotest.(check int) "no miss" 0 s.Past.get_misses
+
+let test_missing_key () =
+  let live = build_overlay 10 in
+  let store = Past.create ~live () in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Past.get store ~client:nodes.(0) ~key:"never-stored";
+  advance live 5.0;
+  let s = Past.stats store in
+  Alcotest.(check int) "miss" 1 s.Past.get_misses;
+  Alcotest.(check int) "no hit" 0 s.Past.get_hits
+
+let test_replication_factor () =
+  let live = build_overlay 16 in
+  let store = Past.create ~replicas:3 ~live () in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Past.put store ~client:nodes.(0) ~key:"replicated" ~value:"x";
+  advance live 5.0;
+  Alcotest.(check int) "three copies" 3 (Past.object_replicas store ~key:"replicated")
+
+let test_survives_root_crash () =
+  let live = build_overlay 20 in
+  let store = Past.create ~replicas:3 ~refresh_period:30.0 ~live () in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Past.put store ~client:nodes.(0) ~key:"durable" ~value:"v";
+  advance live 5.0;
+  (* find and kill the current root of the object *)
+  let keyhash = Pastry.Nodeid.of_string (Digest.string "past:durable") in
+  let root_addr =
+    match Harness.Oracle.closest (Live.oracle live) keyhash with
+    | Some (_, addr) -> addr
+    | None -> Alcotest.fail "no root"
+  in
+  (match Live.find_node live ~addr:root_addr with
+  | Some node -> Live.crash_node live node
+  | None -> Alcotest.fail "root not found");
+  (* wait for eviction; then a get must still succeed via lazy recovery *)
+  advance live 60.0;
+  let client = List.hd (Live.active_nodes live) in
+  Past.get store ~client ~key:"durable";
+  advance live 10.0;
+  let s = Past.stats store in
+  Alcotest.(check int) "hit after root crash" 1 s.Past.get_hits;
+  Alcotest.(check int) "no timeout" 0 s.Past.get_timeouts
+
+let test_rereplication_sweep () =
+  let live = build_overlay 20 in
+  let store = Past.create ~replicas:3 ~refresh_period:20.0 ~live () in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Past.put store ~client:nodes.(0) ~key:"swept" ~value:"v";
+  advance live 5.0;
+  (* kill one replica holder; the sweep should restore 3 copies *)
+  let keyhash = Pastry.Nodeid.of_string (Digest.string "past:swept") in
+  let root_addr =
+    match Harness.Oracle.closest (Live.oracle live) keyhash with
+    | Some (_, addr) -> addr
+    | None -> Alcotest.fail "no root"
+  in
+  (match Live.find_node live ~addr:root_addr with
+  | Some node -> Live.crash_node live node
+  | None -> ());
+  advance live 120.0;
+  Alcotest.(check bool) "copies restored" true (Past.object_replicas store ~key:"swept" >= 3)
+
+let test_many_objects_balanced () =
+  let live = build_overlay 16 in
+  let store = Past.create ~replicas:2 ~live () in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  for i = 0 to 49 do
+    Past.put store ~client:nodes.(i mod 16) ~key:(Printf.sprintf "obj%d" i) ~value:"v"
+  done;
+  advance live 10.0;
+  let s = Past.stats store in
+  Alcotest.(check int) "all stored" 50 s.Past.put_acks;
+  Alcotest.(check int) "2 replicas each" 100 s.Past.stored_objects;
+  (* gets from random clients all succeed *)
+  let rng = Rng.create 3 in
+  for i = 0 to 49 do
+    Past.get store ~client:nodes.(Rng.int rng 16) ~key:(Printf.sprintf "obj%d" i)
+  done;
+  advance live 10.0;
+  let s = Past.stats store in
+  Alcotest.(check int) "all gets hit" 50 s.Past.get_hits
+
+let test_create_validation () =
+  let live = build_overlay 4 in
+  Alcotest.check_raises "bad replicas" (Invalid_argument "Past.create: replicas must be >= 1")
+    (fun () -> ignore (Past.create ~replicas:0 ~live ()))
+
+let suite =
+  [
+    ( "past",
+      [
+        Alcotest.test_case "put then get" `Quick test_put_get;
+        Alcotest.test_case "missing key" `Quick test_missing_key;
+        Alcotest.test_case "replication factor" `Quick test_replication_factor;
+        Alcotest.test_case "survives root crash" `Slow test_survives_root_crash;
+        Alcotest.test_case "re-replication sweep" `Slow test_rereplication_sweep;
+        Alcotest.test_case "many objects balanced" `Quick test_many_objects_balanced;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+      ] );
+  ]

@@ -1,0 +1,160 @@
+module Nodeid = Pastry.Nodeid
+module Peer = Pastry.Peer
+module Leafset = Pastry.Leafset
+module Rt = Pastry.Routing_table
+module Route = Pastry.Route
+module Rng = Repro_util.Rng
+
+let hexid prefix =
+  Nodeid.of_hex
+    (prefix ^ String.concat "" (List.init (32 - String.length prefix) (fun _ -> "0")))
+
+(* a node with a few leaf members and routing entries *)
+let setup () =
+  let me = Peer.make (hexid "a0") 0 in
+  let leafset = Leafset.create ~l:4 ~me in
+  let table = Rt.create ~b:4 ~me:me.Peer.id in
+  (me, leafset, table)
+
+let next ?excluded ~leafset ~table key =
+  Route.next_hop ?excluded ~leafset ~table ~key ()
+
+let test_singleton_delivers () =
+  let _, leafset, table = setup () in
+  match next ~leafset ~table (hexid "ff") with
+  | Route.Deliver -> ()
+  | Route.Forward _ -> Alcotest.fail "singleton must deliver"
+
+let test_leafset_covered_forward () =
+  let _, leafset, table = setup () in
+  ignore (Leafset.add leafset (Peer.make (hexid "9e") 11));
+  ignore (Leafset.add leafset (Peer.make (hexid "9f") 1));
+  ignore (Leafset.add leafset (Peer.make (hexid "a1") 2));
+  ignore (Leafset.add leafset (Peer.make (hexid "a2") 12));
+  (* key a1... exactly: covered, owner is node a1 *)
+  match next ~leafset ~table (hexid "a1") with
+  | Route.Forward p -> Alcotest.(check int) "to a1" 2 p.Peer.addr
+  | Route.Deliver -> Alcotest.fail "should forward to the owner"
+
+let test_leafset_covered_deliver_self () =
+  let _, leafset, table = setup () in
+  ignore (Leafset.add leafset (Peer.make (hexid "90") 1));
+  ignore (Leafset.add leafset (Peer.make (hexid "b0") 2));
+  (* key a01... : me (a00) is closest *)
+  match next ~leafset ~table (hexid "a01") with
+  | Route.Deliver -> ()
+  | Route.Forward p -> Alcotest.failf "expected deliver, got %d" p.Peer.addr
+
+let test_routing_table_hop () =
+  let _, leafset, table = setup () in
+  (* leaf set does not cover key f0...; row-0 entry for digit f exists *)
+  ignore (Leafset.add leafset (Peer.make (hexid "9e") 11));
+  ignore (Leafset.add leafset (Peer.make (hexid "9f") 1));
+  ignore (Leafset.add leafset (Peer.make (hexid "a1") 2));
+  ignore (Leafset.add leafset (Peer.make (hexid "a2") 12));
+  ignore (Rt.consider table (Peer.make (hexid "f5") 7) ~rtt:0.1);
+  match next ~leafset ~table (hexid "f0") with
+  | Route.Forward p -> Alcotest.(check int) "row 0 digit f" 7 p.Peer.addr
+  | Route.Deliver -> Alcotest.fail "expected routing-table hop"
+
+let test_fallback_closer_node () =
+  let _, leafset, table = setup () in
+  ignore (Leafset.add leafset (Peer.make (hexid "9e") 11));
+  ignore (Leafset.add leafset (Peer.make (hexid "9f") 1));
+  ignore (Leafset.add leafset (Peer.make (hexid "a1") 2));
+  ignore (Leafset.add leafset (Peer.make (hexid "a2") 12));
+  (* no entry for digit f, but a known node e0... is strictly closer to
+     f0... than me (a0...) and shares >= 0 digits *)
+  ignore (Rt.consider table (Peer.make (hexid "e0") 9) ~rtt:0.1);
+  match next ~leafset ~table (hexid "f0") with
+  | Route.Forward p -> Alcotest.(check int) "fallback" 9 p.Peer.addr
+  | Route.Deliver -> Alcotest.fail "expected fallback hop"
+
+let test_fallback_requires_progress () =
+  let _, leafset, table = setup () in
+  (* known node is farther from the key than me: must deliver, not loop *)
+  ignore (Rt.consider table (Peer.make (hexid "00") 3) ~rtt:0.1);
+  ignore (Leafset.add leafset (Peer.make (hexid "00") 3));
+  match next ~leafset ~table (hexid "a9") with
+  | Route.Deliver -> ()
+  | Route.Forward _ -> Alcotest.fail "no progress possible: deliver"
+
+let test_excluded_skipped () =
+  let _, leafset, table = setup () in
+  ignore (Leafset.add leafset (Peer.make (hexid "9e") 11));
+  ignore (Leafset.add leafset (Peer.make (hexid "9f") 1));
+  ignore (Leafset.add leafset (Peer.make (hexid "a1") 2));
+  ignore (Leafset.add leafset (Peer.make (hexid "a2") 12));
+  ignore (Rt.consider table (Peer.make (hexid "f5") 7) ~rtt:0.1);
+  ignore (Rt.consider table (Peer.make (hexid "e0") 9) ~rtt:0.1);
+  let excluded id = Nodeid.equal id (hexid "f5") in
+  match next ~excluded ~leafset ~table (hexid "f0") with
+  | Route.Forward p -> Alcotest.(check int) "skips excluded" 9 p.Peer.addr
+  | Route.Deliver -> Alcotest.fail "expected alternative hop"
+
+let test_excluded_leaf_owner () =
+  let _, leafset, table = setup () in
+  ignore (Leafset.add leafset (Peer.make (hexid "9e") 11));
+  ignore (Leafset.add leafset (Peer.make (hexid "9f") 1));
+  ignore (Leafset.add leafset (Peer.make (hexid "a1") 2));
+  ignore (Leafset.add leafset (Peer.make (hexid "a2") 12));
+  let excluded id = Nodeid.equal id (hexid "a1") in
+  (* owner a1 excluded: the next-closest leaf member (me) takes it *)
+  match next ~excluded ~leafset ~table (hexid "a1") with
+  | Route.Deliver -> ()
+  | Route.Forward p -> Alcotest.failf "expected deliver, got %d" p.Peer.addr
+
+let test_empty_slot_on_path () =
+  let _, leafset, table = setup () in
+  ignore (Leafset.add leafset (Peer.make (hexid "9e") 11));
+  ignore (Leafset.add leafset (Peer.make (hexid "9f") 1));
+  ignore (Leafset.add leafset (Peer.make (hexid "a1") 2));
+  ignore (Leafset.add leafset (Peer.make (hexid "a2") 12));
+  (match Route.empty_slot_on_path ~leafset ~table ~key:(hexid "f0") with
+  | Some (0, 0xf) -> ()
+  | Some (r, c) -> Alcotest.failf "wrong slot %d,%d" r c
+  | None -> Alcotest.fail "expected empty slot");
+  ignore (Rt.consider table (Peer.make (hexid "f5") 7) ~rtt:0.1);
+  Alcotest.(check bool) "filled now" true
+    (Route.empty_slot_on_path ~leafset ~table ~key:(hexid "f0") = None)
+
+(* property: a forwarded hop always makes progress — strictly smaller ring
+   distance to the key, or a strictly longer shared prefix *)
+let qcheck_progress =
+  QCheck.Test.make ~name:"next_hop makes progress" ~count:300 QCheck.int (fun seed ->
+      let rng = Rng.create seed in
+      let me = Peer.make (Nodeid.random rng) 0 in
+      let leafset = Leafset.create ~l:8 ~me in
+      let table = Rt.create ~b:4 ~me:me.Peer.id in
+      for k = 1 to 20 do
+        let p = Peer.make (Nodeid.random rng) k in
+        ignore (Leafset.add leafset p);
+        ignore (Rt.consider table p ~rtt:0.1)
+      done;
+      let key = Nodeid.random rng in
+      match next ~leafset ~table key with
+      | Route.Deliver -> true
+      | Route.Forward p ->
+          let b = 4 in
+          let my_prefix = Nodeid.shared_prefix_length ~b key me.Peer.id in
+          let p_prefix = Nodeid.shared_prefix_length ~b key p.Peer.id in
+          let closer = Nodeid.closer ~key p.Peer.id me.Peer.id in
+          p_prefix > my_prefix || (p_prefix >= my_prefix && closer) || closer)
+
+let suite =
+  [
+    ( "route",
+      [
+        Alcotest.test_case "singleton delivers" `Quick test_singleton_delivers;
+        Alcotest.test_case "covered key forwards to owner" `Quick test_leafset_covered_forward;
+        Alcotest.test_case "covered key delivers at owner" `Quick
+          test_leafset_covered_deliver_self;
+        Alcotest.test_case "routing-table hop" `Quick test_routing_table_hop;
+        Alcotest.test_case "fallback to closer node" `Quick test_fallback_closer_node;
+        Alcotest.test_case "fallback requires progress" `Quick test_fallback_requires_progress;
+        Alcotest.test_case "excluded next hop skipped" `Quick test_excluded_skipped;
+        Alcotest.test_case "excluded leaf owner" `Quick test_excluded_leaf_owner;
+        Alcotest.test_case "empty slot detection" `Quick test_empty_slot_on_path;
+        QCheck_alcotest.to_alcotest qcheck_progress;
+      ] );
+  ]

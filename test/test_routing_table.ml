@@ -1,0 +1,147 @@
+module Nodeid = Pastry.Nodeid
+module Peer = Pastry.Peer
+module Rt = Pastry.Routing_table
+module Rng = Repro_util.Rng
+
+let hexid prefix =
+  Nodeid.of_hex (prefix ^ String.concat "" (List.init (32 - String.length prefix) (fun _ -> "0")))
+
+let me = hexid "a0"
+let table () = Rt.create ~b:4 ~me
+
+let test_dimensions () =
+  let t = table () in
+  Alcotest.(check int) "rows" 32 (Rt.rows t);
+  Alcotest.(check int) "cols" 16 (Rt.cols t);
+  Alcotest.(check int) "empty" 0 (Rt.count t)
+
+let test_slot_of () =
+  let t = table () in
+  (* me = a0...; id b0... differs in first digit -> row 0, col 0xb *)
+  Alcotest.(check (option (pair int int))) "row0" (Some (0, 0xb)) (Rt.slot_of t (hexid "b0"));
+  (* id a5... shares 1 digit -> row 1, col 5 *)
+  Alcotest.(check (option (pair int int))) "row1" (Some (1, 5)) (Rt.slot_of t (hexid "a5"));
+  Alcotest.(check (option (pair int int))) "self" None (Rt.slot_of t me)
+
+let test_consider_install_and_pns () =
+  let t = table () in
+  let p1 = Peer.make (hexid "b0") 1 in
+  Alcotest.(check bool) "install" true (Rt.consider t p1 ~rtt:0.1);
+  Alcotest.(check int) "count" 1 (Rt.count t);
+  (* same slot, farther candidate: rejected *)
+  let p2 = Peer.make (hexid "b1") 2 in
+  Alcotest.(check bool) "farther rejected" false (Rt.consider t p2 ~rtt:0.2);
+  (* same slot, closer candidate: replaces *)
+  Alcotest.(check bool) "closer replaces" true (Rt.consider t p2 ~rtt:0.05);
+  (match Rt.get t 0 0xb with
+  | Some e -> Alcotest.(check int) "occupant" 2 e.Rt.peer.Peer.addr
+  | None -> Alcotest.fail "slot empty");
+  Alcotest.(check int) "still one entry" 1 (Rt.count t)
+
+let test_consider_same_id_update () =
+  let t = table () in
+  let p = Peer.make (hexid "b0") 1 in
+  ignore (Rt.consider t p ~rtt:0.1);
+  Alcotest.(check bool) "same id better rtt" true (Rt.consider t p ~rtt:0.05);
+  Alcotest.(check bool) "same id worse rtt" false (Rt.consider t p ~rtt:0.5)
+
+let test_set_unconditional () =
+  let t = table () in
+  ignore (Rt.consider t (Peer.make (hexid "b0") 1) ~rtt:0.01);
+  Alcotest.(check bool) "set overwrites" true (Rt.set t (Peer.make (hexid "b1") 2) ~rtt:9.9);
+  match Rt.get t 0 0xb with
+  | Some e -> Alcotest.(check int) "new occupant" 2 e.Rt.peer.Peer.addr
+  | None -> Alcotest.fail "slot empty"
+
+let test_remove_exact_id () =
+  let t = table () in
+  ignore (Rt.consider t (Peer.make (hexid "b0") 1) ~rtt:0.1);
+  (* removing a different id that maps to the same slot must not evict *)
+  Alcotest.(check bool) "other id" false (Rt.remove t (hexid "b1"));
+  Alcotest.(check int) "kept" 1 (Rt.count t);
+  Alcotest.(check bool) "exact id" true (Rt.remove t (hexid "b0"));
+  Alcotest.(check int) "empty" 0 (Rt.count t)
+
+let test_find () =
+  let t = table () in
+  ignore (Rt.consider t (Peer.make (hexid "b0") 1) ~rtt:0.1);
+  Alcotest.(check bool) "found" true (Rt.find t (hexid "b0") <> None);
+  Alcotest.(check bool) "same slot, different id" true (Rt.find t (hexid "b1") = None);
+  Alcotest.(check bool) "self" true (Rt.find t me = None)
+
+let test_rows_and_entries () =
+  let t = table () in
+  ignore (Rt.consider t (Peer.make (hexid "b0") 1) ~rtt:0.1);
+  ignore (Rt.consider t (Peer.make (hexid "c0") 2) ~rtt:0.1);
+  ignore (Rt.consider t (Peer.make (hexid "a5") 3) ~rtt:0.1);
+  Alcotest.(check int) "row 0 has 2" 2 (List.length (Rt.row_entries t 0));
+  Alcotest.(check int) "row 1 has 1" 1 (List.length (Rt.row_entries t 1));
+  Alcotest.(check int) "entries" 3 (List.length (Rt.entries t));
+  Alcotest.(check int) "peers" 3 (List.length (Rt.peers t))
+
+let test_update_rtt () =
+  let t = table () in
+  ignore (Rt.consider t (Peer.make (hexid "b0") 1) ~rtt:0.5);
+  Rt.update_rtt t (hexid "b0") 0.25;
+  (match Rt.find t (hexid "b0") with
+  | Some e -> Alcotest.(check (float 1e-9)) "updated" 0.25 e.Rt.rtt
+  | None -> Alcotest.fail "missing");
+  (* update for an id not installed is a no-op *)
+  Rt.update_rtt t (hexid "b1") 0.1;
+  Alcotest.(check int) "count" 1 (Rt.count t)
+
+let qcheck_slot_matches_prefix =
+  QCheck.Test.make ~name:"slot row = shared prefix length" ~count:300 QCheck.int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let me = Nodeid.random rng in
+      let t = Rt.create ~b:4 ~me in
+      let id = Nodeid.random rng in
+      match Rt.slot_of t id with
+      | None -> Nodeid.equal id me
+      | Some (r, c) ->
+          r = Nodeid.shared_prefix_length ~b:4 me id && c = Nodeid.digit ~b:4 id r
+          && c <> Nodeid.digit ~b:4 me r)
+
+let qcheck_all_b_values =
+  QCheck.Test.make ~name:"tables work for b in 1..8" ~count:50 QCheck.int (fun seed ->
+      let rng = Rng.create seed in
+      List.for_all
+        (fun b ->
+          let me = Nodeid.random rng in
+          let t = Rt.create ~b ~me in
+          let ok = ref true in
+          for k = 0 to 20 do
+            let p = Peer.make (Nodeid.random rng) k in
+            ignore (Rt.consider t p ~rtt:0.1)
+          done;
+          List.iter
+            (fun (e : Rt.entry) ->
+              match Rt.slot_of t e.Rt.peer.Peer.id with
+              | Some (r, c) -> (
+                  match Rt.get t r c with
+                  | Some e' -> if not (Peer.equal e.Rt.peer e'.Rt.peer) then ok := false
+                  | None -> ok := false)
+              | None -> ok := false)
+            (Rt.entries t);
+          !ok)
+        [ 1; 2; 3; 4; 5; 8 ])
+
+let suite =
+  [
+    ( "routing-table",
+      [
+        Alcotest.test_case "dimensions" `Quick test_dimensions;
+        Alcotest.test_case "slot_of" `Quick test_slot_of;
+        Alcotest.test_case "consider: install and PNS replace" `Quick
+          test_consider_install_and_pns;
+        Alcotest.test_case "consider: same id rtt update" `Quick test_consider_same_id_update;
+        Alcotest.test_case "set is unconditional" `Quick test_set_unconditional;
+        Alcotest.test_case "remove only exact id" `Quick test_remove_exact_id;
+        Alcotest.test_case "find" `Quick test_find;
+        Alcotest.test_case "rows and entries" `Quick test_rows_and_entries;
+        Alcotest.test_case "update rtt" `Quick test_update_rtt;
+        QCheck_alcotest.to_alcotest qcheck_slot_matches_prefix;
+        QCheck_alcotest.to_alcotest qcheck_all_b_values;
+      ] );
+  ]

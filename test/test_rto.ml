@@ -1,0 +1,72 @@
+module Rto = Mspastry.Rto
+
+let make () = Rto.create ~initial:0.5 ~min:0.02 ~max:3.0
+
+let test_initial () =
+  let r = make () in
+  Alcotest.(check (float 1e-9)) "initial" 0.5 (Rto.timeout r);
+  Alcotest.(check (option (float 1e-9))) "no srtt" None (Rto.srtt r);
+  Alcotest.(check int) "no samples" 0 (Rto.samples r)
+
+let test_first_sample () =
+  let r = make () in
+  Rto.observe r 0.1;
+  (* srtt = 0.1, rttvar = 0.05 -> rto = 0.1*1.1 + max(0.01, 2*0.05) = 0.21 *)
+  Alcotest.(check (float 1e-9)) "rto" 0.21 (Rto.timeout r);
+  Alcotest.(check (option (float 1e-9))) "srtt" (Some 0.1) (Rto.srtt r)
+
+let test_converges_on_stable_rtt () =
+  let r = make () in
+  for _ = 1 to 200 do
+    Rto.observe r 0.08
+  done;
+  (match Rto.srtt r with
+  | Some s -> Alcotest.(check bool) "srtt converged" true (Float.abs (s -. 0.08) < 1e-3)
+  | None -> Alcotest.fail "srtt missing");
+  (* stable samples -> variance collapses -> rto hits the floor near srtt *)
+  Alcotest.(check bool) "tight timeout" true (Rto.timeout r < 0.1)
+
+let test_min_clamp () =
+  let r = make () in
+  for _ = 1 to 300 do
+    Rto.observe r 0.001
+  done;
+  Alcotest.(check (float 1e-9)) "clamped at min" 0.02 (Rto.timeout r)
+
+let test_max_clamp () =
+  let r = make () in
+  Rto.observe r 10.0;
+  Alcotest.(check (float 1e-9)) "clamped at max" 3.0 (Rto.timeout r)
+
+let test_variance_reacts () =
+  let r = make () in
+  for _ = 1 to 50 do
+    Rto.observe r 0.1
+  done;
+  let calm = Rto.timeout r in
+  Rto.observe r 0.5;
+  Alcotest.(check bool) "spike raises timeout" true (Rto.timeout r > calm)
+
+let test_negative_ignored () =
+  let r = make () in
+  Rto.observe r (-1.0);
+  Alcotest.(check int) "ignored" 0 (Rto.samples r)
+
+let test_create_validation () =
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Rto.create") (fun () ->
+      ignore (Rto.create ~initial:0.5 ~min:1.0 ~max:0.5))
+
+let suite =
+  [
+    ( "rto",
+      [
+        Alcotest.test_case "initial timeout" `Quick test_initial;
+        Alcotest.test_case "first sample" `Quick test_first_sample;
+        Alcotest.test_case "converges on stable RTT" `Quick test_converges_on_stable_rtt;
+        Alcotest.test_case "min clamp" `Quick test_min_clamp;
+        Alcotest.test_case "max clamp" `Quick test_max_clamp;
+        Alcotest.test_case "variance reacts to spikes" `Quick test_variance_reacts;
+        Alcotest.test_case "negative samples ignored" `Quick test_negative_ignored;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+      ] );
+  ]

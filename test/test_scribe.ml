@@ -1,0 +1,138 @@
+module Sim = Harness.Sim
+module Live = Sim.Live
+module Node = Mspastry.Node
+module Rng = Repro_util.Rng
+
+let build_overlay ?(seed = 42) n =
+  let config =
+    {
+      Sim.default_config with
+      topology = Sim.Flat 0.02;
+      seed;
+      lookup_rate = 0.0;
+      warmup = 0.0;
+      window = 60.0;
+    }
+  in
+  let live = Live.create config ~n_endpoints:(max 8 n) in
+  for i = 0 to n - 1 do
+    Live.spawn_at live ~time:(float_of_int i *. 5.0) ()
+  done;
+  Live.run_until live ((float_of_int n *. 5.0) +. 120.0);
+  live
+
+let advance live dt =
+  Live.run_until live (Simkit.Engine.now (Live.engine live) +. dt)
+
+let test_group_of_name () =
+  let a = Scribe.group_of_name "sports" in
+  let b = Scribe.group_of_name "sports" in
+  let c = Scribe.group_of_name "news" in
+  Alcotest.(check bool) "deterministic" true (Pastry.Nodeid.equal a b);
+  Alcotest.(check bool) "distinct" false (Pastry.Nodeid.equal a c)
+
+let test_subscribe_and_multicast () =
+  let live = build_overlay 20 in
+  let scribe = Scribe.create ~live () in
+  let group = Scribe.group_of_name "g" in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  for i = 0 to 9 do
+    Scribe.subscribe scribe ~member:nodes.(i) group
+  done;
+  advance live 10.0;
+  Alcotest.(check int) "members" 10 (Scribe.members scribe group);
+  let msg = Scribe.multicast scribe ~from:nodes.(15) group in
+  advance live 10.0;
+  Alcotest.(check int) "all members reached" 10 (Scribe.delivered scribe group msg)
+
+let test_non_members_not_counted () =
+  let live = build_overlay 12 in
+  let scribe = Scribe.create ~live () in
+  let group = Scribe.group_of_name "exclusive" in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Scribe.subscribe scribe ~member:nodes.(0) group;
+  Scribe.subscribe scribe ~member:nodes.(1) group;
+  advance live 5.0;
+  let msg = Scribe.multicast scribe ~from:nodes.(5) group in
+  advance live 10.0;
+  Alcotest.(check int) "exactly the two members" 2
+    (Scribe.delivered scribe group msg)
+
+let test_multiple_groups_independent () =
+  let live = build_overlay 16 in
+  let scribe = Scribe.create ~live () in
+  let g1 = Scribe.group_of_name "one" and g2 = Scribe.group_of_name "two" in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Scribe.subscribe scribe ~member:nodes.(0) g1;
+  Scribe.subscribe scribe ~member:nodes.(1) g2;
+  advance live 5.0;
+  let m1 = Scribe.multicast scribe ~from:nodes.(2) g1 in
+  advance live 10.0;
+  Alcotest.(check int) "g1 delivered" 1 (Scribe.delivered scribe g1 m1);
+  Alcotest.(check int) "g2 untouched" 0 (Scribe.delivered scribe g2 m1)
+
+let test_tree_heals_after_crash () =
+  let live = build_overlay 24 in
+  (* short refresh so the tree heals within the test *)
+  let scribe = Scribe.create ~refresh_period:20.0 ~live () in
+  let group = Scribe.group_of_name "resilient" in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  for i = 0 to 11 do
+    Scribe.subscribe scribe ~member:nodes.(i) group
+  done;
+  advance live 10.0;
+  (* crash three non-member nodes (possible forwarders) *)
+  for i = 12 to 14 do
+    Live.crash_node live nodes.(i)
+  done;
+  (* wait past eviction plus two refresh rounds *)
+  advance live 90.0;
+  let publisher = nodes.(20) in
+  let msg = Scribe.multicast scribe ~from:publisher group in
+  advance live 15.0;
+  let live_members = Scribe.members scribe group in
+  Alcotest.(check int) "members still alive" 12 live_members;
+  Alcotest.(check int) "multicast reaches all after healing" live_members
+    (Scribe.delivered scribe group msg)
+
+let test_member_crash_reduces_membership () =
+  let live = build_overlay 12 in
+  let scribe = Scribe.create ~live () in
+  let group = Scribe.group_of_name "shrinking" in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Scribe.subscribe scribe ~member:nodes.(0) group;
+  Scribe.subscribe scribe ~member:nodes.(1) group;
+  advance live 5.0;
+  Live.crash_node live nodes.(0);
+  advance live 5.0;
+  Alcotest.(check int) "one live member" 1 (Scribe.members scribe group)
+
+let test_stats () =
+  let live = build_overlay 10 in
+  let scribe = Scribe.create ~live () in
+  let group = Scribe.group_of_name "stats" in
+  let nodes = Array.of_list (Live.active_nodes live) in
+  Scribe.subscribe scribe ~member:nodes.(0) group;
+  advance live 5.0;
+  ignore (Scribe.multicast scribe ~from:nodes.(1) group);
+  advance live 10.0;
+  let s = Scribe.stats scribe in
+  Alcotest.(check bool) "subscribes" true (s.Scribe.subscribes_sent >= 1);
+  Alcotest.(check int) "multicasts" 1 s.Scribe.multicasts_sent;
+  Alcotest.(check int) "deliveries" 1 s.Scribe.deliveries
+
+let suite =
+  [
+    ( "scribe",
+      [
+        Alcotest.test_case "group naming" `Quick test_group_of_name;
+        Alcotest.test_case "subscribe and multicast" `Quick test_subscribe_and_multicast;
+        Alcotest.test_case "non-members not counted" `Quick test_non_members_not_counted;
+        Alcotest.test_case "groups independent" `Quick test_multiple_groups_independent;
+        Alcotest.test_case "tree heals after forwarder crash" `Slow
+          test_tree_heals_after_crash;
+        Alcotest.test_case "member crash shrinks group" `Quick
+          test_member_crash_reduces_membership;
+        Alcotest.test_case "stats" `Quick test_stats;
+      ] );
+  ]

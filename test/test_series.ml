@@ -1,0 +1,60 @@
+module Series = Repro_util.Series
+
+let test_window_assignment () =
+  let s = Series.create ~window:10.0 in
+  Series.add s ~time:1.0 2.0;
+  Series.add s ~time:9.9 4.0;
+  Series.add s ~time:10.0 6.0;
+  let sums = Series.sums s in
+  Alcotest.(check int) "two windows" 2 (Array.length sums);
+  Alcotest.(check (float 1e-9)) "w0 mid" 5.0 (fst sums.(0));
+  Alcotest.(check (float 1e-9)) "w0 sum" 6.0 (snd sums.(0));
+  Alcotest.(check (float 1e-9)) "w1 mid" 15.0 (fst sums.(1));
+  Alcotest.(check (float 1e-9)) "w1 sum" 6.0 (snd sums.(1))
+
+let test_means_and_rates () =
+  let s = Series.create ~window:10.0 in
+  Series.add s ~time:0.0 2.0;
+  Series.add s ~time:5.0 4.0;
+  let means = Series.means s in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (snd means.(0));
+  let rates = Series.rates s in
+  Alcotest.(check (float 1e-9)) "rate" 0.6 (snd rates.(0))
+
+let test_count () =
+  let s = Series.create ~window:1.0 in
+  Series.count s ~time:0.1;
+  Series.count s ~time:0.2;
+  Alcotest.(check (float 1e-9)) "total" 2.0 (Series.total s);
+  Alcotest.(check int) "samples" 2 (Series.n_samples s)
+
+let test_empty () =
+  let s = Series.create ~window:5.0 in
+  Alcotest.(check int) "no windows" 0 (Array.length (Series.sums s));
+  Alcotest.(check (float 0.0)) "total" 0.0 (Series.total s)
+
+let test_sorted_output () =
+  let s = Series.create ~window:1.0 in
+  Series.add s ~time:50.0 1.0;
+  Series.add s ~time:3.0 1.0;
+  Series.add s ~time:20.0 1.0;
+  let sums = Series.sums s in
+  Alcotest.(check bool) "time ordered" true
+    (fst sums.(0) < fst sums.(1) && fst sums.(1) < fst sums.(2))
+
+let test_invalid_window () =
+  Alcotest.check_raises "zero window" (Invalid_argument "Series.create") (fun () ->
+      ignore (Series.create ~window:0.0))
+
+let suite =
+  [
+    ( "series",
+      [
+        Alcotest.test_case "window assignment" `Quick test_window_assignment;
+        Alcotest.test_case "means and rates" `Quick test_means_and_rates;
+        Alcotest.test_case "count" `Quick test_count;
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "sorted output" `Quick test_sorted_output;
+        Alcotest.test_case "invalid window" `Quick test_invalid_window;
+      ] );
+  ]

@@ -1,0 +1,164 @@
+module Sim = Harness.Sim
+module Live = Sim.Live
+module Cache = Squirrel.Cache
+module Workload = Squirrel.Workload
+module Rng = Repro_util.Rng
+
+let test_key_of_url () =
+  let k1 = Cache.key_of_url "http://a/x" in
+  let k2 = Cache.key_of_url "http://a/x" in
+  let k3 = Cache.key_of_url "http://a/y" in
+  Alcotest.(check bool) "deterministic" true (Pastry.Nodeid.equal k1 k2);
+  Alcotest.(check bool) "distinct urls differ" false (Pastry.Nodeid.equal k1 k3)
+
+let test_workload_structure () =
+  let wl =
+    Workload.generate ~rng:(Rng.create 1) ~n_clients:10 ~duration:(2.0 *. 86_400.0) ()
+  in
+  let reqs = Workload.requests wl in
+  Alcotest.(check bool) "nonempty" true (Array.length reqs > 100);
+  let sorted = ref true in
+  for i = 1 to Array.length reqs - 1 do
+    if reqs.(i).Workload.time < reqs.(i - 1).Workload.time then sorted := false
+  done;
+  Alcotest.(check bool) "sorted" true !sorted;
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "client in range" true
+        (r.Workload.client >= 0 && r.Workload.client < 10))
+    reqs;
+  Alcotest.(check bool) "zipf reuses urls" true
+    (Workload.distinct_urls wl < Workload.n_requests wl)
+
+let test_workload_diurnal () =
+  let wl =
+    Workload.generate ~rng:(Rng.create 2) ~n_clients:20 ~duration:86_400.0 ()
+  in
+  let reqs = Workload.requests wl in
+  let in_window lo hi =
+    Array.fold_left
+      (fun acc r -> if r.Workload.time >= lo && r.Workload.time < hi then acc + 1 else acc)
+      0 reqs
+  in
+  (* office hours (10:00-11:00) vs night (03:00-04:00), day 0 is a weekday *)
+  let busy = in_window (10.0 *. 3600.0) (11.0 *. 3600.0) in
+  let calm = in_window (3.0 *. 3600.0) (4.0 *. 3600.0) in
+  Alcotest.(check bool) "diurnal shape" true (busy > 3 * calm)
+
+let test_workload_weekend () =
+  (* day 4 (Fri) vs day 5 (Sat) of a 6-day trace *)
+  let wl =
+    Workload.generate ~rng:(Rng.create 3) ~n_clients:20 ~duration:(6.0 *. 86_400.0) ()
+  in
+  let reqs = Workload.requests wl in
+  let on_day d =
+    Array.fold_left
+      (fun acc r ->
+        let day = int_of_float (r.Workload.time /. 86_400.0) in
+        if day = d then acc + 1 else acc)
+      0 reqs
+  in
+  Alcotest.(check bool) "weekend quieter" true (on_day 5 * 2 < on_day 4)
+
+let build_overlay n =
+  let config =
+    {
+      Sim.default_config with
+      topology = Sim.Flat 0.02;
+      lookup_rate = 0.0;
+      warmup = 0.0;
+      window = 60.0;
+    }
+  in
+  let live = Live.create config ~n_endpoints:(max 8 n) in
+  for i = 0 to n - 1 do
+    Live.spawn_at live ~time:(float_of_int i *. 5.0) ()
+  done;
+  Live.run_until live ((float_of_int n *. 5.0) +. 120.0);
+  live
+
+let test_hit_after_miss () =
+  let live = build_overlay 10 in
+  let cache = Cache.create ~live () in
+  let client = List.hd (Live.active_nodes live) in
+  Cache.request cache ~client ~url:"http://example/page";
+  Live.run_until live (Simkit.Engine.now (Live.engine live) +. 10.0);
+  let s1 = Cache.stats cache in
+  Alcotest.(check int) "first is a miss" 1 s1.Cache.misses;
+  Alcotest.(check int) "no hit yet" 0 s1.Cache.hits;
+  Alcotest.(check int) "responded" 1 s1.Cache.responses;
+  (* second request for the same url from a different client: a hit *)
+  let client2 = List.nth (Live.active_nodes live) 5 in
+  Cache.request cache ~client:client2 ~url:"http://example/page";
+  Live.run_until live (Simkit.Engine.now (Live.engine live) +. 10.0);
+  let s2 = Cache.stats cache in
+  Alcotest.(check int) "hit" 1 s2.Cache.hits;
+  Alcotest.(check int) "still one miss" 1 s2.Cache.misses;
+  Alcotest.(check int) "one object cached" 1 s2.Cache.cached_objects
+
+let test_distinct_urls_different_homes () =
+  let live = build_overlay 10 in
+  let cache = Cache.create ~live () in
+  let client = List.hd (Live.active_nodes live) in
+  for i = 0 to 19 do
+    Cache.request cache ~client ~url:(Printf.sprintf "http://example/p%d" i)
+  done;
+  Live.run_until live (Simkit.Engine.now (Live.engine live) +. 20.0);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "all misses" 20 s.Cache.misses;
+  Alcotest.(check int) "all answered" 20 s.Cache.responses;
+  Alcotest.(check int) "all cached" 20 s.Cache.cached_objects
+
+let test_latency_hit_faster_than_miss () =
+  let live = build_overlay 10 in
+  let cache = Cache.create ~live () in
+  let client = List.hd (Live.active_nodes live) in
+  Cache.request cache ~client ~url:"http://example/slow";
+  Live.run_until live (Simkit.Engine.now (Live.engine live) +. 10.0);
+  let miss_latency = (Cache.stats cache).Cache.mean_latency in
+  (* a hit avoids the 2 * 150 ms origin fetch *)
+  Cache.request cache ~client ~url:"http://example/slow";
+  Live.run_until live (Simkit.Engine.now (Live.engine live) +. 10.0);
+  let s = Cache.stats cache in
+  let hit_latency = (s.Cache.mean_latency *. 2.0) -. miss_latency in
+  Alcotest.(check bool) "hit faster" true (hit_latency < miss_latency -. 0.1)
+
+let test_eviction () =
+  let live = build_overlay 4 in
+  let cache = Cache.create ~capacity_per_node:5 ~live () in
+  let client = List.hd (Live.active_nodes live) in
+  for i = 0 to 39 do
+    Cache.request cache ~client ~url:(Printf.sprintf "http://bulk/%d" i)
+  done;
+  Live.run_until live (Simkit.Engine.now (Live.engine live) +. 30.0);
+  let s = Cache.stats cache in
+  (* 4 home nodes x capacity 5 = at most 20 resident objects *)
+  Alcotest.(check bool) "capacity respected" true (s.Cache.cached_objects <= 20)
+
+let test_deployment_smoke () =
+  let r = Squirrel.Deployment.run ~n_nodes:10 ~duration:7200.0 ~window:600.0 ~seed:5 () in
+  Alcotest.(check int) "all nodes" 10 r.Squirrel.Deployment.n_nodes;
+  Alcotest.(check bool) "requests flowed" true
+    (r.Squirrel.Deployment.cache_stats.Cache.requests > 10);
+  Alcotest.(check bool) "most answered" true
+    (r.Squirrel.Deployment.cache_stats.Cache.failed * 10
+    < r.Squirrel.Deployment.cache_stats.Cache.requests);
+  Alcotest.(check bool) "traffic series populated" true
+    (Array.length r.Squirrel.Deployment.total_traffic > 0)
+
+let suite =
+  [
+    ( "squirrel",
+      [
+        Alcotest.test_case "key of url" `Quick test_key_of_url;
+        Alcotest.test_case "workload structure" `Quick test_workload_structure;
+        Alcotest.test_case "workload diurnal" `Quick test_workload_diurnal;
+        Alcotest.test_case "workload weekend" `Quick test_workload_weekend;
+        Alcotest.test_case "hit after miss" `Quick test_hit_after_miss;
+        Alcotest.test_case "distinct urls, distinct homes" `Quick
+          test_distinct_urls_different_homes;
+        Alcotest.test_case "hits are faster" `Quick test_latency_hit_faster_than_miss;
+        Alcotest.test_case "eviction respects capacity" `Quick test_eviction;
+        Alcotest.test_case "deployment smoke" `Slow test_deployment_smoke;
+      ] );
+  ]

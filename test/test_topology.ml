@@ -1,0 +1,144 @@
+module Rng = Repro_util.Rng
+module Graph = Topology.Graph
+
+let test_graph_basics () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 1 2 2.0;
+  Graph.add_edge g 0 0 5.0;
+  (* self-loop ignored *)
+  Alcotest.(check int) "edges" 2 (Graph.n_edges g);
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  let d = Graph.dijkstra g 0 in
+  Alcotest.(check (float 1e-9)) "d(0,0)" 0.0 d.(0);
+  Alcotest.(check (float 1e-9)) "d(0,2)" 3.0 d.(2);
+  Alcotest.(check bool) "unreachable" true (d.(3) = infinity);
+  Alcotest.(check bool) "disconnected" false (Graph.connected g)
+
+let test_graph_parallel_edges_keep_min () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1 5.0;
+  Graph.add_edge g 0 1 2.0;
+  Graph.add_edge g 0 1 9.0;
+  let d = Graph.dijkstra g 0 in
+  Alcotest.(check (float 1e-9)) "min kept" 2.0 d.(1)
+
+let test_graph_validation () =
+  let g = Graph.create 2 in
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Graph.add_edge: weight must be positive") (fun () ->
+      Graph.add_edge g 0 1 0.0);
+  Alcotest.check_raises "bad vertex" (Invalid_argument "Graph.add_edge") (fun () ->
+      Graph.add_edge g 0 7 1.0)
+
+let test_ensure_connected () =
+  let g = Graph.create 6 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 2 3 1.0;
+  Graph.add_edge g 4 5 1.0;
+  Graph.ensure_connected g (Rng.create 3) ~weight:(fun () -> 1.0);
+  Alcotest.(check bool) "connected" true (Graph.connected g)
+
+let test_constant () =
+  let t = Topology.constant ~n_endpoints:4 ~delay:0.05 in
+  Alcotest.(check (float 1e-9)) "pair" 0.05 (Topology.delay t 0 3);
+  Alcotest.(check (float 1e-9)) "self" 0.0 (Topology.delay t 2 2);
+  Alcotest.(check (float 1e-9)) "rtt" 0.1 (Topology.rtt t 0 1);
+  Alcotest.(check int) "endpoints" 4 (Topology.n_endpoints t)
+
+let check_metric name t =
+  let n = Topology.n_endpoints t in
+  let rng = Rng.create 7 in
+  for _ = 1 to 50 do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    let dab = Topology.delay t a b and dba = Topology.delay t b a in
+    Alcotest.(check (float 1e-9)) (name ^ " symmetric") dab dba;
+    if a <> b then
+      Alcotest.(check bool) (name ^ " positive") true (dab > 0.0 && Float.is_finite dab)
+  done
+
+let test_transit_stub () =
+  let rng = Rng.create 11 in
+  let t =
+    Topology.transit_stub ~transit_domains:3 ~routers_per_transit:2
+      ~stubs_per_transit_router:2 ~routers_per_stub:3 ~rng ~n_endpoints:40 ()
+  in
+  Alcotest.(check string) "name" "gatech" (Topology.name t);
+  Alcotest.(check int) "routers" (6 + (12 * 3)) (Topology.n_routers t);
+  check_metric "gatech" t;
+  (* LAN access: endpoints attached to the same router still ~2 ms apart *)
+  let rng2 = Rng.create 11 in
+  let t2 =
+    Topology.transit_stub ~transit_domains:3 ~routers_per_transit:2
+      ~stubs_per_transit_router:2 ~routers_per_stub:3 ~rng:rng2 ~n_endpoints:40 ()
+  in
+  (* determinism: same seed, same delays *)
+  Alcotest.(check (float 1e-12)) "deterministic" (Topology.delay t 0 1) (Topology.delay t2 0 1)
+
+let test_as_graph_hop_metric () =
+  let rng = Rng.create 13 in
+  let t = Topology.as_graph ~n_as:10 ~routers_per_as:3 ~hop_delay:0.002 ~rng ~n_endpoints:30 () in
+  Alcotest.(check string) "name" "mercator" (Topology.name t);
+  check_metric "mercator" t;
+  (* all delays are whole multiples of the hop delay *)
+  let rng2 = Rng.create 5 in
+  for _ = 1 to 30 do
+    let a = Rng.int rng2 30 and b = Rng.int rng2 30 in
+    if a <> b then begin
+      let d = Topology.delay t a b in
+      let hops = d /. 0.002 in
+      Alcotest.(check bool) "integral hops" true (Float.abs (hops -. Float.round hops) < 1e-6)
+    end
+  done
+
+let test_corpnet () =
+  let rng = Rng.create 17 in
+  let t = Topology.corpnet ~n_routers:50 ~n_hubs:5 ~rng ~n_endpoints:30 () in
+  Alcotest.(check string) "name" "corpnet" (Topology.name t);
+  Alcotest.(check int) "routers" 50 (Topology.n_routers t);
+  check_metric "corpnet" t
+
+let test_delay_bounds_validation () =
+  let t = Topology.constant ~n_endpoints:4 ~delay:0.05 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Topology.delay: endpoint out of range") (fun () ->
+      ignore (Topology.delay t 0 9))
+
+let test_corpnet_smaller_than_gatech () =
+  (* CorpNet is a small low-diameter network: its typical delays should be
+     below GATech's — the property behind the paper's RDP ordering *)
+  let rng = Rng.create 23 in
+  let g =
+    Topology.transit_stub ~transit_domains:6 ~routers_per_transit:3
+      ~stubs_per_transit_router:4 ~routers_per_stub:5 ~rng ~n_endpoints:60 ()
+  in
+  let c = Topology.corpnet ~rng ~n_endpoints:60 () in
+  let mean t =
+    let acc = ref 0.0 and n = ref 0 in
+    for a = 0 to 29 do
+      for b = 30 to 59 do
+        acc := !acc +. Topology.delay t a b;
+        incr n
+      done
+    done;
+    !acc /. float_of_int !n
+  in
+  Alcotest.(check bool) "corpnet tighter" true (mean c < mean g)
+
+let suite =
+  [
+    ( "topology",
+      [
+        Alcotest.test_case "graph basics" `Quick test_graph_basics;
+        Alcotest.test_case "parallel edges keep min" `Quick test_graph_parallel_edges_keep_min;
+        Alcotest.test_case "graph validation" `Quick test_graph_validation;
+        Alcotest.test_case "ensure connected" `Quick test_ensure_connected;
+        Alcotest.test_case "constant topology" `Quick test_constant;
+        Alcotest.test_case "transit-stub" `Quick test_transit_stub;
+        Alcotest.test_case "AS graph hop metric" `Quick test_as_graph_hop_metric;
+        Alcotest.test_case "corpnet" `Quick test_corpnet;
+        Alcotest.test_case "delay bounds" `Quick test_delay_bounds_validation;
+        Alcotest.test_case "corpnet tighter than gatech" `Quick
+          test_corpnet_smaller_than_gatech;
+      ] );
+  ]

@@ -1,0 +1,107 @@
+module Trace = Churn.Trace
+module Rng = Repro_util.Rng
+
+let test_poisson_structure () =
+  let t = Trace.poisson (Rng.create 1) ~n_avg:50 ~session_mean:600.0 ~duration:3600.0 in
+  let evs = Trace.events t in
+  Alcotest.(check bool) "has events" true (Array.length evs > 0);
+  (* sorted times *)
+  let sorted = ref true in
+  for i = 1 to Array.length evs - 1 do
+    if evs.(i).Trace.time < evs.(i - 1).Trace.time then sorted := false
+  done;
+  Alcotest.(check bool) "time sorted" true !sorted;
+  (* each node joins before it leaves, and at most once each *)
+  let join = Hashtbl.create 64 and leave = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      match e.Trace.kind with
+      | Trace.Join ->
+          Alcotest.(check bool) "single join" false (Hashtbl.mem join e.Trace.node);
+          Hashtbl.replace join e.Trace.node e.Trace.time
+      | Trace.Leave ->
+          Alcotest.(check bool) "single leave" false (Hashtbl.mem leave e.Trace.node);
+          Hashtbl.replace leave e.Trace.node e.Trace.time;
+          let jt = Hashtbl.find join e.Trace.node in
+          Alcotest.(check bool) "join precedes leave" true (jt <= e.Trace.time))
+    evs;
+  Alcotest.(check bool) "within duration" true
+    (Array.for_all (fun e -> e.Trace.time <= Trace.duration t) evs)
+
+let test_poisson_population () =
+  let t = Trace.poisson (Rng.create 2) ~n_avg:100 ~session_mean:1800.0 ~duration:7200.0 in
+  let pop = Trace.population_series t ~window:600.0 in
+  (* mid-trace population within 40% of target *)
+  let mid = pop.(Array.length pop / 2) in
+  Alcotest.(check bool) "population near target" true (snd mid > 60.0 && snd mid < 140.0);
+  Alcotest.(check bool) "max concurrent sane" true
+    (Trace.max_concurrent t > 50 && Trace.max_concurrent t < 220)
+
+let test_poisson_mean_session () =
+  let t = Trace.poisson (Rng.create 3) ~n_avg:200 ~session_mean:300.0 ~duration:7200.0 in
+  let m = Trace.mean_session t in
+  (* censored at the trace end, so slightly below the true mean *)
+  Alcotest.(check bool) "mean session plausible" true (m > 200.0 && m < 360.0)
+
+let test_failure_rate_matches_mean_session () =
+  let t = Trace.poisson (Rng.create 4) ~n_avg:200 ~session_mean:600.0 ~duration:7200.0 in
+  let series = Trace.failure_rate_series t ~window:600.0 in
+  (* steady state: failure rate per node ~ 1/session_mean *)
+  let mids = Array.sub series 2 (Array.length series - 4) in
+  let avg = Array.fold_left (fun a (_, v) -> a +. v) 0.0 mids /. float_of_int (Array.length mids) in
+  Alcotest.(check bool) "rate near 1/mean" true
+    (avg > 0.5 /. 600.0 && avg < 2.0 /. 600.0)
+
+let test_gnutella_band () =
+  let t = Trace.gnutella ~scale:0.1 ~duration:(12.0 *. 3600.0) (Rng.create 5) in
+  Alcotest.(check string) "name" "gnutella" (Trace.name t);
+  let pop = Trace.population_series t ~window:3600.0 in
+  (* scaled band: 130-270 plus ramp effects *)
+  let late = Array.sub pop 3 (Array.length pop - 3) in
+  Array.iter
+    (fun (_, p) -> Alcotest.(check bool) "population in band" true (p > 80.0 && p < 350.0))
+    late
+
+let test_microsoft_lower_churn () =
+  let g = Trace.gnutella ~scale:0.1 ~duration:(24.0 *. 3600.0) (Rng.create 6) in
+  let m = Trace.microsoft ~scale:0.01 ~duration:(24.0 *. 3600.0) (Rng.create 7) in
+  let avg_rate t =
+    let s = Trace.failure_rate_series t ~window:3600.0 in
+    let tail = Array.sub s (Array.length s / 2) (Array.length s / 2) in
+    Array.fold_left (fun a (_, v) -> a +. v) 0.0 tail /. float_of_int (Array.length tail)
+  in
+  let gr = avg_rate g and mr = avg_rate m in
+  Alcotest.(check bool) "microsoft an order of magnitude calmer" true (mr < gr /. 5.0)
+
+let test_overnet_generates () =
+  let t = Trace.overnet ~scale:0.5 ~duration:(6.0 *. 3600.0) (Rng.create 8) in
+  Alcotest.(check string) "name" "overnet" (Trace.name t);
+  Alcotest.(check bool) "sessions" true (Trace.n_nodes t > 50)
+
+let test_determinism () =
+  let a = Trace.gnutella ~scale:0.05 ~duration:3600.0 (Rng.create 9) in
+  let b = Trace.gnutella ~scale:0.05 ~duration:3600.0 (Rng.create 9) in
+  Alcotest.(check int) "same sessions" (Trace.n_nodes a) (Trace.n_nodes b);
+  Alcotest.(check int) "same events" (Array.length (Trace.events a))
+    (Array.length (Trace.events b))
+
+let test_validation () =
+  Alcotest.check_raises "bad args" (Invalid_argument "Trace.poisson") (fun () ->
+      ignore (Trace.poisson (Rng.create 1) ~n_avg:0 ~session_mean:10.0 ~duration:10.0))
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "poisson structure" `Quick test_poisson_structure;
+        Alcotest.test_case "poisson population" `Quick test_poisson_population;
+        Alcotest.test_case "poisson mean session" `Quick test_poisson_mean_session;
+        Alcotest.test_case "failure rate matches sessions" `Quick
+          test_failure_rate_matches_mean_session;
+        Alcotest.test_case "gnutella population band" `Quick test_gnutella_band;
+        Alcotest.test_case "microsoft lower churn" `Quick test_microsoft_lower_churn;
+        Alcotest.test_case "overnet generates" `Quick test_overnet_generates;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "validation" `Quick test_validation;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+module Tuning = Mspastry.Tuning
+module Config = Mspastry.Config
+module Nodeid = Pastry.Nodeid
+module Peer = Pastry.Peer
+module Leafset = Pastry.Leafset
+
+let cfg = Config.default
+
+let test_pf_limits () =
+  Alcotest.(check (float 0.0)) "mu=0" 0.0 (Tuning.pf ~t_detect:100.0 ~mu:0.0);
+  Alcotest.(check (float 0.0)) "t=0" 0.0 (Tuning.pf ~t_detect:0.0 ~mu:0.1);
+  Alcotest.(check bool) "large x -> 1" true (Tuning.pf ~t_detect:1e9 ~mu:1.0 > 0.999);
+  (* small x: pf ~ x/2 *)
+  let p = Tuning.pf ~t_detect:1.0 ~mu:1e-6 in
+  Alcotest.(check bool) "small x linear" true (Float.abs (p -. 5e-7) < 1e-8)
+
+let test_pf_monotone () =
+  let prev = ref 0.0 in
+  List.iter
+    (fun t ->
+      let p = Tuning.pf ~t_detect:t ~mu:1e-3 in
+      Alcotest.(check bool) "monotone in T" true (p >= !prev);
+      prev := p)
+    [ 1.0; 10.0; 100.0; 1000.0; 10000.0 ]
+
+let test_expected_hops () =
+  (* b=4, N=65536: 15/16 * log16(65536) = 15/16*4 = 3.75 *)
+  Alcotest.(check (float 1e-6)) "known value" 3.75 (Tuning.expected_hops ~b:4 ~n:65536.0);
+  Alcotest.(check bool) "at least 1" true (Tuning.expected_hops ~b:4 ~n:2.0 >= 1.0)
+
+let test_raw_loss_monotone_in_trt () =
+  let prev = ref 0.0 in
+  List.iter
+    (fun trt ->
+      let lr = Tuning.raw_loss_rate cfg ~trt ~n:1000.0 ~mu:1e-4 in
+      Alcotest.(check bool) "monotone" true (lr >= !prev);
+      prev := lr)
+    [ 10.0; 30.0; 100.0; 300.0; 1000.0 ]
+
+let test_solve_trt_hits_target () =
+  let n = 1000.0 and mu = 1e-4 in
+  let trt = Tuning.solve_trt cfg ~n ~mu in
+  let achieved = Tuning.raw_loss_rate cfg ~trt ~n ~mu in
+  Alcotest.(check bool) "achieves target" true
+    (Float.abs (achieved -. cfg.Config.lr_target) < 0.005)
+
+let test_solve_trt_floor () =
+  (* catastrophic churn: even the floor misses the target -> floor *)
+  let trt = Tuning.solve_trt cfg ~n:1000.0 ~mu:0.05 in
+  Alcotest.(check (float 1e-6)) "floor" 9.0 trt
+
+let test_solve_trt_cap () =
+  (* almost no churn: max probing period suffices *)
+  let trt = Tuning.solve_trt cfg ~n:1000.0 ~mu:1e-9 in
+  Alcotest.(check (float 1e-6)) "cap" cfg.Config.t_rt_max trt
+
+let leafset_of_n n =
+  (* evenly spaced ring of n nodes; leaf set of node 0 *)
+  let spacing = Nodeid.to_float Nodeid.max_value /. float_of_int n in
+  let me = Peer.make (Nodeid.of_int 0) 0 in
+  let ls = Leafset.create ~l:32 ~me in
+  for k = 1 to n - 1 do
+    (* of_int only goes to 2^62; place nodes by repeated addition *)
+    ignore spacing;
+    ignore k
+  done;
+  ls
+
+let test_estimate_n () =
+  (* build a ring with known spacing via add of evenly spaced ids *)
+  let me = Peer.make (Nodeid.of_int 0) 0 in
+  let ls = Leafset.create ~l:8 ~me in
+  (* 2^128 / 256 spacing: ids k * 2^120 - use hex construction *)
+  let id_at k =
+    let hexbyte = Printf.sprintf "%02x" k in
+    Nodeid.of_hex (hexbyte ^ String.concat "" (List.init 30 (fun _ -> "0")))
+  in
+  (* neighbours at 1..4 /256 and 252..255/256 of the ring *)
+  List.iter (fun k -> ignore (Leafset.add ls (Peer.make (id_at k) k))) [ 1; 2; 3; 4; 252; 253; 254; 255 ];
+  let n = Tuning.estimate_n ls in
+  (* 9 nodes spanning 8/256 of the ring -> N ~ 288 *)
+  Alcotest.(check bool) "density estimate"
+    true
+    (n > 200.0 && n < 400.0);
+  ignore (leafset_of_n 4)
+
+let test_estimate_n_empty () =
+  let ls = Leafset.create ~l:8 ~me:(Peer.make (Nodeid.of_int 0) 0) in
+  Alcotest.(check (float 0.0)) "singleton" 1.0 (Tuning.estimate_n ls)
+
+let test_estimate_mu () =
+  let t = Tuning.create cfg ~now:0.0 in
+  Alcotest.(check (float 0.0)) "no failures" 0.0 (Tuning.estimate_mu t ~m:10 ~now:100.0);
+  (* 5 failures among 10 nodes over 1000s -> mu = 5 / (10*1000) *)
+  List.iter (fun ts -> Tuning.record_failure t ~now:ts) [ 200.; 400.; 600.; 800.; 1000. ];
+  let mu = Tuning.estimate_mu t ~m:10 ~now:1000.0 in
+  Alcotest.(check (float 1e-9)) "k/(M Tkf)" 5e-4 mu;
+  Alcotest.(check int) "count" 5 (Tuning.failures_seen t)
+
+let test_estimate_mu_zero_members () =
+  let t = Tuning.create cfg ~now:0.0 in
+  Tuning.record_failure t ~now:10.0;
+  Alcotest.(check (float 0.0)) "m=0 safe" 0.0 (Tuning.estimate_mu t ~m:0 ~now:20.0)
+
+let test_current_trt_median () =
+  let t = Tuning.create cfg ~now:0.0 in
+  let ls = Leafset.create ~l:8 ~me:(Peer.make (Nodeid.of_int 0) 0) in
+  (* no local failures: local estimate = cap. Remote values pull the
+     median down. *)
+  List.iter (fun v -> Tuning.observe_remote t v) [ 50.0; 50.0; 50.0; 50.0; 50.0 ];
+  let trt = Tuning.current_trt t ~leafset:ls ~m:10 ~now:100.0 in
+  Alcotest.(check (float 1e-6)) "median of remotes" 50.0 trt
+
+let test_current_trt_bounds () =
+  let t = Tuning.create cfg ~now:0.0 in
+  let ls = Leafset.create ~l:8 ~me:(Peer.make (Nodeid.of_int 0) 0) in
+  List.iter (fun v -> Tuning.observe_remote t v) [ 1.0; 1.0; 1.0 ];
+  let trt = Tuning.current_trt t ~leafset:ls ~m:10 ~now:100.0 in
+  Alcotest.(check bool) "floor enforced" true (trt >= 9.0)
+
+let test_observe_remote_ignores_garbage () =
+  let t = Tuning.create cfg ~now:0.0 in
+  Tuning.observe_remote t nan;
+  Tuning.observe_remote t (-5.0);
+  Tuning.observe_remote t infinity;
+  let ls = Leafset.create ~l:8 ~me:(Peer.make (Nodeid.of_int 0) 0) in
+  (* only the local cap remains *)
+  let trt = Tuning.current_trt t ~leafset:ls ~m:10 ~now:100.0 in
+  Alcotest.(check (float 1e-6)) "unaffected" cfg.Config.t_rt_max trt
+
+let qcheck_solve_in_bounds =
+  QCheck.Test.make ~name:"solve_trt within [floor, cap]" ~count:200
+    QCheck.(pair (float_range 2.0 100000.0) (float_range 1e-8 0.1))
+    (fun (n, mu) ->
+      let trt = Tuning.solve_trt cfg ~n ~mu in
+      trt >= 9.0 -. 1e-9 && trt <= cfg.Config.t_rt_max +. 1e-9)
+
+let suite =
+  [
+    ( "tuning",
+      [
+        Alcotest.test_case "pf limits" `Quick test_pf_limits;
+        Alcotest.test_case "pf monotone" `Quick test_pf_monotone;
+        Alcotest.test_case "expected hops" `Quick test_expected_hops;
+        Alcotest.test_case "raw loss monotone in Trt" `Quick test_raw_loss_monotone_in_trt;
+        Alcotest.test_case "solve hits target" `Quick test_solve_trt_hits_target;
+        Alcotest.test_case "solve floors under extreme churn" `Quick test_solve_trt_floor;
+        Alcotest.test_case "solve caps under no churn" `Quick test_solve_trt_cap;
+        Alcotest.test_case "estimate N from density" `Quick test_estimate_n;
+        Alcotest.test_case "estimate N singleton" `Quick test_estimate_n_empty;
+        Alcotest.test_case "estimate mu" `Quick test_estimate_mu;
+        Alcotest.test_case "estimate mu zero members" `Quick test_estimate_mu_zero_members;
+        Alcotest.test_case "median of remote values" `Quick test_current_trt_median;
+        Alcotest.test_case "floor enforced" `Quick test_current_trt_bounds;
+        Alcotest.test_case "garbage remotes ignored" `Quick test_observe_remote_ignores_garbage;
+        QCheck_alcotest.to_alcotest qcheck_solve_in_bounds;
+      ] );
+  ]
