@@ -1,0 +1,36 @@
+# Convenience wrappers around dune. `make help` lists targets.
+
+.PHONY: all build test bench bench-json tracedump fmt clean help
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- micro
+
+bench-json:
+	dune exec bench/main.exe -- micro --json
+
+tracedump:
+	dune exec bin/tracedump.exe -- --nodes 100 --out trace.jsonl
+
+fmt:
+	@if [ -f .ocamlformat ]; then dune build @fmt --auto-promote; \
+	else echo "no .ocamlformat in this repo; skipping"; fi
+
+clean:
+	dune clean
+
+help:
+	@echo "make build       build everything (dune build @all)"
+	@echo "make test        run the full test suite"
+	@echo "make bench       run the Bechamel micro-benchmarks"
+	@echo "make bench-json  micro-benchmarks + BENCH_pr1.json baseline"
+	@echo "make tracedump   100-node traced churn run + trace summary"
+	@echo "make fmt         dune build @fmt (when .ocamlformat exists)"
+	@echo "make clean       dune clean"

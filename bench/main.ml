@@ -100,6 +100,7 @@ let run_micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
   print_endline "=== Micro-benchmarks (Bechamel) ===";
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -111,13 +112,73 @@ let run_micro () =
               Instance.monotonic_clock wks
           in
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op\n%!" name est
+          | Some [ est ] ->
+              Printf.printf "%-40s %12.1f ns/op\n%!" name est;
+              estimates := (name, est) :: !estimates
           | Some _ | None -> Printf.printf "%-40s (no estimate)\n%!" name)
         results)
-    tests
+    tests;
+  List.rev !estimates
+
+(* wall-clock + engine-throughput reference points for the JSON report *)
+
+let time_fig3 () =
+  let t0 = Unix.gettimeofday () in
+  E.fig3 ~size:E.Quick ~seed:42 ();
+  Unix.gettimeofday () -. t0
+
+let time_small_sim () =
+  (* a small steady-churn run on the flat topology: the engine events /
+     wall-second figure tracks whole-stack simulation throughput *)
+  let module Sim = Harness.Sim in
+  let duration = 3600.0 in
+  let trace =
+    Churn.Trace.poisson (Repro_util.Rng.create 7) ~n_avg:60 ~session_mean:1800.0
+      ~duration
+  in
+  let config =
+    { Sim.default_config with topology = Sim.Flat 0.05; warmup = 600.0; seed = 42 }
+  in
+  let live = Sim.live_of_trace config ~trace in
+  let t0 = Unix.gettimeofday () in
+  Sim.Live.run_until live (duration +. config.Sim.drain);
+  let wall = Unix.gettimeofday () -. t0 in
+  (wall, Simkit.Engine.stats (Sim.Live.engine live))
+
+let write_json path micro =
+  let module J = Repro_obs.Json in
+  let fig3_wall = time_fig3 () in
+  let sim_wall, est = time_small_sim () in
+  let j =
+    J.Obj
+      [
+        ( "micro_ns_per_op",
+          J.Obj (List.map (fun (name, est) -> (name, J.Float est)) micro) );
+        ("fig3_quick_wall_s", J.Float fig3_wall);
+        ( "sim",
+          J.Obj
+            [
+              ("events_fired", J.Int est.Simkit.Engine.fired);
+              ("events_scheduled", J.Int est.Simkit.Engine.scheduled);
+              ("heap_hwm", J.Int est.Simkit.Engine.heap_hwm);
+              ("wall_s", J.Float sim_wall);
+              ( "events_per_wall_s",
+                J.Float (float_of_int est.Simkit.Engine.fired /. sim_wall) );
+              ("events_per_sim_s", J.Float est.Simkit.Engine.events_per_sim_s);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (fig3 quick: %.2f s wall, sim: %.0f events/wall-s)\n%!" path
+    fig3_wall
+    (float_of_int est.Simkit.Engine.fired /. sim_wall)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json = List.mem "--json" args in
   let size =
     let rec find = function
       | "--size" :: v :: _ -> (
@@ -134,7 +195,9 @@ let () =
   in
   let seed = 42 in
   let run_one = function
-    | "micro" -> run_micro ()
+    | "micro" ->
+        let micro = run_micro () in
+        if json then write_json "BENCH_pr1.json" micro
     | "fig3" -> E.fig3 ~size ~seed ()
     | "fig4" -> E.fig4 ~size ~seed ()
     | "fig5" -> E.fig5 ~size ~seed ()
@@ -153,6 +216,7 @@ let () =
   in
   match names with
   | [] ->
-      run_micro ();
+      let micro = run_micro () in
+      if json then write_json "BENCH_pr1.json" micro;
       E.all ~size ~seed ()
   | names -> List.iter run_one names

@@ -1,0 +1,247 @@
+(* Run a small churn scenario with JSONL event tracing on, then read the
+   trace file back and summarise it: per-lookup path lengths, one
+   lookup's full reconstructed hop path, drop attribution, top talkers,
+   and the live engine/net counter registry. Doubles as an end-to-end
+   check that traced per-class send counts agree with the metrics
+   collector.
+
+     dune exec bin/tracedump.exe -- --nodes 100 --out trace.jsonl *)
+
+open Cmdliner
+module Sim = Harness.Sim
+module Obs = Repro_obs
+module M = Mspastry.Message
+module Collector = Overlay_metrics.Collector
+module Trace = Churn.Trace
+module Rng = Repro_util.Rng
+
+let read_events path =
+  let ic = open_in path in
+  let events = ref [] in
+  let bad = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Obs.Json.of_string line with
+         | Error _ -> incr bad
+         | Ok j -> (
+             match Obs.Event.of_json j with
+             | Ok ev -> events := ev :: !events
+             | Error _ -> incr bad)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (List.rev !events, !bad)
+
+let incr_tbl tbl key = function
+  | n -> (
+      match Hashtbl.find_opt tbl key with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.add tbl key (ref n))
+
+let tbl_to_sorted tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare (b : int) a)
+
+let print_path path =
+  List.iter
+    (fun h ->
+      Printf.printf "    t=%10.3f  addr=%-6d stage=%-8s hops=%d%s\n" h.Obs.Hoppath.time
+        h.Obs.Hoppath.addr
+        (Obs.Event.stage_name h.Obs.Hoppath.stage)
+        h.Obs.Hoppath.hops
+        (if h.Obs.Hoppath.retx then "  (reroute)" else ""))
+    path
+
+let run nodes hours seed out loss lookup_rate timers sample top =
+  (* -- scenario: Gnutella-calibrated churn scaled to ~[nodes] concurrent - *)
+  let scale = float_of_int nodes /. 2000.0 in
+  let duration = hours *. 3600.0 in
+  let churn = Trace.gnutella ~scale ~duration (Rng.create (seed + 1000)) in
+  let config =
+    {
+      Sim.default_config with
+      seed;
+      loss_rate = loss;
+      lookup_rate;
+      tracing = Sim.Trace_jsonl out;
+      trace_timers = timers;
+    }
+  in
+  Printf.printf "scenario: gnutella-calibrated churn, ~%d concurrent nodes, %.1f h\n"
+    (Trace.max_concurrent churn) hours;
+  Printf.printf "tracing:  %s (timer events %s)\n%!" out (if timers then "on" else "off");
+  let live = Sim.live_of_trace config ~trace:churn in
+  Sim.Live.run_until live (duration +. config.Sim.drain);
+  let registry = Sim.Live.registry live in
+  let reg_dump = Obs.Registry.dump registry in
+  let summary =
+    Collector.summary ~since:0.0 ~until:infinity ~drain:0.0 (Sim.Live.collector live)
+  in
+  Obs.Trace.close (Sim.Live.trace live);
+
+  (* -- read the trace back ------------------------------------------- *)
+  let events, bad = read_events out in
+  Printf.printf "\ntrace: %d events read back%s\n" (List.length events)
+    (if bad > 0 then Printf.sprintf " (%d unparseable lines!)" bad else "");
+
+  let by_kind = Hashtbl.create 16 in
+  let sends_by_class = Hashtbl.create 16 in
+  let drops_by = Hashtbl.create 16 in
+  let talkers = Hashtbl.create 256 in
+  let lost_lookup_seqs = ref [] in
+  List.iter
+    (fun ev ->
+      incr_tbl by_kind (Obs.Event.kind_name ev) 1;
+      match ev.Obs.Event.body with
+      | Obs.Event.Send { src; cls; _ } ->
+          incr_tbl sends_by_class cls 1;
+          incr_tbl talkers src 1
+      | Obs.Event.Drop { cls; seq; reason; _ } ->
+          incr_tbl drops_by (Obs.Event.drop_reason_name reason, cls) 1;
+          Option.iter (fun s -> lost_lookup_seqs := s :: !lost_lookup_seqs) seq
+      | _ -> ())
+    events;
+
+  Printf.printf "\nevents by kind:\n";
+  List.iter (fun (k, n) -> Printf.printf "  %-16s %d\n" k n) (tbl_to_sorted by_kind);
+
+  Printf.printf "\nsends by class:\n";
+  List.iter
+    (fun (c, n) -> Printf.printf "  %-20s %d\n" c n)
+    (tbl_to_sorted sends_by_class);
+
+  Printf.printf "\ndrop attribution (reason x class):\n";
+  let drops = tbl_to_sorted drops_by in
+  if drops = [] then Printf.printf "  (no drops)\n"
+  else
+    List.iter
+      (fun ((reason, cls), n) -> Printf.printf "  %-10s %-20s %d\n" reason cls n)
+      drops;
+  let lost = List.sort_uniq compare !lost_lookup_seqs in
+  if lost <> [] then begin
+    let shown = List.filteri (fun i _ -> i < 10) lost in
+    Printf.printf "  lookup transmissions dropped: seqs %s%s\n"
+      (String.concat ", " (List.map string_of_int shown))
+      (if List.length lost > 10 then Printf.sprintf " ... (%d total)" (List.length lost)
+       else "")
+  end;
+
+  (* -- per-lookup hop paths ------------------------------------------ *)
+  let paths = Obs.Hoppath.of_events events in
+  let n_paths = List.length paths in
+  Printf.printf "\nlookup hop paths: %d lookups traced\n" n_paths;
+  if n_paths > 0 then begin
+    let lengths = List.map Obs.Hoppath.length paths in
+    let total = List.fold_left ( + ) 0 lengths in
+    let max_len = List.fold_left max 0 lengths in
+    Printf.printf "  path length: mean %.2f, max %d\n"
+      (float_of_int total /. float_of_int n_paths)
+      max_len;
+    let hist = Hashtbl.create 16 in
+    List.iter (fun l -> incr_tbl hist l 1) lengths;
+    let bars = List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) hist []) in
+    List.iter (fun (l, n) -> Printf.printf "    %2d nodes: %6d lookups\n" l n) bars;
+    let chosen =
+      match sample with
+      | Some seq -> Obs.Hoppath.find events ~seq |> fun p -> (seq, p)
+      | None ->
+          (* default sample: a longest path — the most to reconstruct *)
+          let best =
+            List.fold_left
+              (fun acc p ->
+                match acc with
+                | Some b when Obs.Hoppath.length b >= Obs.Hoppath.length p -> acc
+                | _ -> Some p)
+              None paths
+          in
+          let p = Option.get best in
+          (p.Obs.Hoppath.seq, p.Obs.Hoppath.path)
+    in
+    let seq, path = chosen in
+    if path = [] then Printf.printf "  lookup %d: no hops traced\n" seq
+    else begin
+      Printf.printf "  sampled lookup %d (%d nodes):\n" seq (List.length path);
+      print_path path
+    end
+  end;
+
+  (* -- top talkers --------------------------------------------------- *)
+  Printf.printf "\ntop talkers (messages sent):\n";
+  List.iteri
+    (fun i (addr, n) -> if i < top then Printf.printf "  addr %-6d %d\n" addr n)
+    (tbl_to_sorted talkers);
+
+  (* -- runtime counters ---------------------------------------------- *)
+  Printf.printf "\nruntime counters:\n";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Obs.Registry.Int i -> Printf.printf "  %-24s %d\n" name i
+      | Obs.Registry.Float f -> Printf.printf "  %-24s %.2f\n" name f)
+    reg_dump;
+
+  (* -- cross-check traced sends vs collector aggregates -------------- *)
+  let count_class name =
+    match Hashtbl.find_opt sends_by_class name with Some r -> !r | None -> 0
+  in
+  let traced_control =
+    List.fold_left
+      (fun acc c -> if M.is_control c then acc + count_class (M.class_name c) else acc)
+      0 M.all_classes
+  in
+  let traced_lookup = count_class (M.class_name M.C_lookup) in
+  let ok_control = float_of_int traced_control = summary.Collector.control_msgs in
+  let ok_lookup = float_of_int traced_lookup = summary.Collector.lookup_msgs in
+  Printf.printf "\ncross-check vs collector (whole run):\n";
+  Printf.printf "  control msgs: traced %d, collector %.0f  [%s]\n" traced_control
+    summary.Collector.control_msgs
+    (if ok_control then "OK" else "MISMATCH");
+  Printf.printf "  lookup msgs:  traced %d, collector %.0f  [%s]\n" traced_lookup
+    summary.Collector.lookup_msgs
+    (if ok_lookup then "OK" else "MISMATCH");
+  if ok_control && ok_lookup then `Ok ()
+  else `Error (false, "traced counts disagree with the collector")
+
+let nodes =
+  Arg.(value & opt int 100 & info [ "nodes" ] ~docv:"N" ~doc:"target concurrent nodes")
+
+let hours =
+  Arg.(value & opt float 2.5 & info [ "hours" ] ~docv:"H" ~doc:"simulated duration")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed")
+
+let out =
+  Arg.(value & opt string "trace.jsonl"
+       & info [ "o"; "out" ] ~docv:"PATH" ~doc:"JSONL trace output path")
+
+let loss =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"network loss rate")
+
+let lookup_rate =
+  Arg.(value & opt float 0.01
+       & info [ "rate" ] ~docv:"R" ~doc:"lookups per second per node")
+
+let timers =
+  Arg.(value & flag
+       & info [ "timers" ] ~doc:"also trace engine timer events (high volume)")
+
+let sample =
+  Arg.(value & opt (some int) None
+       & info [ "sample" ] ~docv:"SEQ" ~doc:"lookup sequence number to print in full")
+
+let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"top talkers to list")
+
+let cmd =
+  let info =
+    Cmd.info "tracedump"
+      ~doc:"Run a churn scenario with event tracing and summarise the trace"
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ nodes $ hours $ seed $ out $ loss $ lookup_rate $ timers $ sample
+       $ top))
+
+let () = exit (Cmd.eval cmd)

@@ -2,6 +2,7 @@ module Rng = Repro_util.Rng
 module Node = Mspastry.Node
 module M = Mspastry.Message
 module Collector = Overlay_metrics.Collector
+module Obs = Repro_obs
 
 type topology_kind = Gatech | Gatech_full | Mercator | Corpnet | Flat of float
 
@@ -22,6 +23,8 @@ let make_topology kind ~rng ~n_endpoints =
   | Corpnet -> Topology.corpnet ~rng ~n_endpoints ()
   | Flat d -> Topology.constant ~n_endpoints ~delay:d
 
+type tracing = Trace_off | Trace_memory of int | Trace_jsonl of string
+
 type config = {
   pastry : Mspastry.Config.t;
   topology : topology_kind;
@@ -33,6 +36,8 @@ type config = {
   window : float;
   max_endpoints : int;
   drain : float;
+  tracing : tracing;
+  trace_timers : bool;
 }
 
 let default_config =
@@ -47,6 +52,8 @@ let default_config =
     window = 600.0;
     max_endpoints = 4096;
     drain = 60.0;
+    tracing = Trace_off;
+    trace_timers = false;
   }
 
 type result = {
@@ -103,6 +110,7 @@ module Live = struct
     rng_net : Rng.t;
     nodes : (int, Node.t) Hashtbl.t; (* addr -> node *)
     active : Active_set.t;
+    trace : Obs.Trace.t;
     n_endpoints : int;
     mutable next_addr : int;
     mutable next_seq : int;
@@ -121,6 +129,33 @@ module Live = struct
   let join_failures t = t.join_failures
   let nodes_created t = t.next_addr
   let node_count t = Active_set.size t.active
+  let trace t = t.trace
+
+  let registry t =
+    let r = Obs.Registry.create () in
+    let e () = Simkit.Engine.stats t.engine in
+    Obs.Registry.gauge_i r "engine.events_scheduled" (fun () -> (e ()).Simkit.Engine.scheduled);
+    Obs.Registry.gauge_i r "engine.events_fired" (fun () -> (e ()).Simkit.Engine.fired);
+    Obs.Registry.gauge_i r "engine.events_cancelled" (fun () -> (e ()).Simkit.Engine.cancelled);
+    Obs.Registry.gauge_i r "engine.events_pending" (fun () -> (e ()).Simkit.Engine.pending);
+    Obs.Registry.gauge_i r "engine.heap_hwm" (fun () -> (e ()).Simkit.Engine.heap_hwm);
+    Obs.Registry.gauge_f r "engine.events_per_sim_s" (fun () ->
+        (e ()).Simkit.Engine.events_per_sim_s);
+    Obs.Registry.gauge_i r "net.sent" (fun () -> Netsim.Net.n_sent t.net);
+    Obs.Registry.gauge_i r "net.delivered" (fun () -> Netsim.Net.n_delivered t.net);
+    Obs.Registry.gauge_i r "net.dropped_loss" (fun () ->
+        (Netsim.Net.stats t.net).Netsim.Net.dropped_loss);
+    Obs.Registry.gauge_i r "net.dropped_dead" (fun () ->
+        (Netsim.Net.stats t.net).Netsim.Net.dropped_dead);
+    List.iter
+      (fun cls ->
+        let name = M.class_name cls in
+        Obs.Registry.gauge_i r ("net.sent." ^ name) (fun () ->
+            Netsim.Net.sent_in_class t.net name))
+      M.all_classes;
+    Obs.Registry.gauge_i r "overlay.active_nodes" (fun () -> node_count t);
+    Obs.Registry.gauge_i r "overlay.join_failures" (fun () -> t.join_failures);
+    r
 
   let create config ~n_endpoints =
     let master = Rng.create config.seed in
@@ -129,12 +164,25 @@ module Live = struct
     let rng_ids = Rng.split master in
     let rng_workload = Rng.split master in
     let topology = make_topology config.topology ~rng:rng_topo ~n_endpoints in
-    let engine = Simkit.Engine.create () in
+    let trace =
+      match config.tracing with
+      | Trace_off -> Obs.Trace.disabled
+      | Trace_memory capacity -> Obs.Trace.create (Obs.Sink.memory ~capacity)
+      | Trace_jsonl path -> Obs.Trace.create (Obs.Sink.jsonl_file path)
+    in
+    let engine =
+      Simkit.Engine.create
+        ~trace:(if config.trace_timers then trace else Obs.Trace.disabled)
+        ()
+    in
     let collector = Collector.create ~window:config.window () in
     let endpoint_of addr = addr mod n_endpoints in
     let net =
-      Netsim.Net.create ~loss_rate:config.loss_rate ~endpoint_of ~engine ~topology
-        ~rng:rng_net ()
+      Netsim.Net.create ~loss_rate:config.loss_rate ~endpoint_of
+        ~classify:(fun m -> M.class_name (M.classify m))
+        ~seq_of:(fun m ->
+          match m.M.payload with M.Lookup l -> Some l.M.seq | _ -> None)
+        ~trace ~engine ~topology ~rng:rng_net ()
     in
     Netsim.Net.on_send net (fun ~time ~src:_ ~dst:_ msg ->
         Collector.record_send collector ~time (M.classify msg));
@@ -150,6 +198,7 @@ module Live = struct
       rng_net;
       nodes = Hashtbl.create 1024;
       active = Active_set.create ();
+      trace;
       n_endpoints;
       next_addr = 0;
       next_seq = 0;
@@ -256,6 +305,7 @@ module Live = struct
       }
     in
     let node = Node.create ~cfg:t.config.pastry ~env ~id ~addr in
+    Node.set_trace node t.trace;
     node_ref := Some node;
     Hashtbl.replace t.nodes addr node;
     Netsim.Net.register t.net ~addr (fun ~src msg -> Node.handle node ~src msg);
@@ -347,6 +397,7 @@ let run config ~trace =
   let live = live_of_trace config ~trace in
   let duration = Churn.Trace.duration trace in
   Live.run_until live (duration +. config.drain);
+  Obs.Trace.close live.Live.trace;
   let summary =
     Collector.summary ~since:config.warmup ~until:duration live.Live.collector
   in

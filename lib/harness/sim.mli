@@ -18,6 +18,13 @@ val topology_name : topology_kind -> string
 val make_topology :
   topology_kind -> rng:Repro_util.Rng.t -> n_endpoints:int -> Topology.t
 
+(** Where structured trace events go (see {!Repro_obs}): nowhere, a
+    bounded in-memory ring, or a JSONL file. *)
+type tracing =
+  | Trace_off
+  | Trace_memory of int  (** ring-buffer capacity (events) *)
+  | Trace_jsonl of string  (** output path, truncated on open *)
+
 type config = {
   pastry : Mspastry.Config.t;
   topology : topology_kind;
@@ -31,6 +38,10 @@ type config = {
   window : float;  (** metrics averaging window *)
   max_endpoints : int;  (** cap on distinct network attachment points *)
   drain : float;  (** extra simulated time after the trace ends *)
+  tracing : tracing;  (** structured event tracing (default off) *)
+  trace_timers : bool;
+      (** also trace engine timer fire/cancel events — very high volume,
+          off by default even when [tracing] is on *)
 }
 
 val default_config : config
@@ -44,10 +55,8 @@ type result = {
 }
 
 val run : config -> trace:Churn.Trace.t -> result
-
-(** Access to live simulation internals, for integration tests and
-    applications that replay a churn trace with extra machinery riding on
-    the overlay. *)
+(** Replay the trace to its end plus [config.drain], then close the
+    trace sink (flushing a JSONL file if one was configured). *)
 
 (** Access to live simulation internals, for integration tests and
     applications (e.g. Squirrel) that need to drive the overlay directly. *)
@@ -107,6 +116,21 @@ module Live : sig
   val run_until : t -> float -> unit
   val join_failures : t -> int
   val nodes_created : t -> int
+
+  val trace : t -> Repro_obs.Trace.t
+  (** The structured event trace built from [config.tracing] (the
+      disabled trace when [Trace_off]). With [Trace_memory] the events
+      are available via {!Repro_obs.Trace.events}; with [Trace_jsonl]
+      call {!Repro_obs.Trace.close} when done — {!run} does this
+      automatically, [run_until] does not. *)
+
+  val registry : t -> Repro_obs.Registry.t
+  (** A gauge registry over the live engine, network and overlay:
+      [engine.*] (events scheduled / fired / cancelled / pending, heap
+      high-water mark, events per simulated second), [net.*] (sent,
+      delivered, drops by cause, per-class [net.sent.<class>]), and
+      [overlay.*] (active nodes, join failures). Values are read live at
+      {!Repro_obs.Registry.dump} time. *)
 end
 
 val live_of_trace : config -> trace:Churn.Trace.t -> Live.t

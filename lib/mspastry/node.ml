@@ -1,6 +1,7 @@
 open Pastry
 module M = Message
 module Rng = Repro_util.Rng
+module Obs = Repro_obs
 
 type forward_decision = Continue | Absorb
 
@@ -89,6 +90,7 @@ type t = {
   mutable repair_scheduled : bool;
   mutable prev_right : Nodeid.t option;
   mutable right_since : float;
+  mutable trace : Obs.Trace.t;
 }
 
 let create ~cfg ~env ~id ~addr =
@@ -131,8 +133,10 @@ let create ~cfg ~env ~id ~addr =
     repair_scheduled = false;
     prev_right = None;
     right_since = 0.0;
+    trace = Obs.Trace.disabled;
   }
 
+let set_trace t trace = t.trace <- trace
 let me t = t.me
 let config t = t.cfg
 let is_active t = t.active
@@ -181,6 +185,13 @@ let is_excluded t id =
 
 let cancel_timer t = function Some ev -> t.env.cancel ev | None -> ()
 
+let emit_ev t body = Obs.Trace.emit t.trace { Obs.Event.time = now t; body }
+let traced t = Obs.Trace.enabled t.trace
+
+let emit_probe t (target : Peer.t) kind =
+  if traced t then
+    emit_ev t (Obs.Event.Probe { addr = t.me.Peer.addr; target = target.Peer.addr; kind })
+
 (* ------------------------------------------------------------------ *)
 (* Distance probing (PNS RTT measurement, §4.2)                        *)
 (* ------------------------------------------------------------------ *)
@@ -227,6 +238,7 @@ and launch_dprobe t target ~total ~announce ~on_done =
   in
   Hashtbl.replace t.dprobes target.Peer.id d;
   t.dprobes_running <- t.dprobes_running + 1;
+  emit_probe t target "distance";
   let send_sample () =
     if t.alive then begin
       let seq = t.next_dprobe_seq in
@@ -304,6 +316,7 @@ let rec probe t (j : Peer.t) =
   then begin
     let st = { p_peer = j; p_retries = 0; p_timer = None } in
     Hashtbl.replace t.ls_probes j.Peer.id st;
+    emit_probe t j "leafset";
     send_ls_probe t st
   end
 
@@ -416,6 +429,7 @@ and rt_probe t (j : Peer.t) =
   then begin
     let st = { p_peer = j; p_retries = 0; p_timer = None } in
     Hashtbl.replace t.rt_probes j.Peer.id st;
+    emit_probe t j "rt";
     send_rt_probe t st
   end
 
@@ -496,6 +510,15 @@ and hop_timeout t hop_id =
   | Some ph ->
       Hashtbl.remove t.pending hop_id;
       let j = ph.h_dst in
+      if traced t then
+        emit_ev t
+          (Obs.Event.Ack_timeout
+             {
+               addr = t.me.Peer.addr;
+               dst = j.Peer.addr;
+               waited = now t -. ph.h_sent_at;
+               reroutes = ph.h_reroutes;
+             });
       (* temporarily exclude the silent node and check on it; only the
          probe machinery may declare it faulty *)
       Hashtbl.replace t.excluded j.Peer.id (now t +. t.cfg.exclusion_period);
@@ -530,9 +553,23 @@ and route_payload ?prev t payload ~key ~reroutes =
   match decision with
   | Absorb -> ()
   | Continue -> (
-  match
-    Route.next_hop ~excluded:(routed_excluded t) ~leafset:t.leafset ~table:t.table ~key ()
-  with
+  let hop, rule =
+    Route.next_hop_explained ~excluded:(routed_excluded t) ~leafset:t.leafset
+      ~table:t.table ~key ()
+  in
+  (match payload with
+  | M.Lookup l when traced t ->
+      let stage =
+        match rule with
+        | Route.Via_leafset -> Obs.Event.Leafset
+        | Route.Via_table -> Obs.Event.Table
+        | Route.Via_closest -> Obs.Event.Closest
+      in
+      emit_ev t
+        (Obs.Event.Lookup_hop
+           { seq = l.M.seq; addr = t.me.Peer.addr; stage; hops = l.M.hops; retx = l.M.retx })
+  | _ -> ());
+  match hop with
   | Route.Deliver -> receive_root t payload ~key ~reroutes
   | Route.Forward next ->
       (* passive routing-table repair: if our own slot for this key is
@@ -650,6 +687,7 @@ and activate t =
     Hashtbl.reset t.failed;
     if not t.was_active then begin
       t.was_active <- true;
+      if traced t then emit_ev t (Obs.Event.Node_join { addr = t.me.Peer.addr });
       t.env.on_active ();
       announce_rows t;
       start_periodics t
@@ -963,7 +1001,11 @@ and handle_hop_ack t hop_id =
   | Some ph ->
       cancel_timer t ph.h_timer;
       Hashtbl.remove t.pending hop_id;
-      Rto.observe (rto_of t ph.h_dst.Peer.id) (now t -. ph.h_sent_at)
+      let rtt = now t -. ph.h_sent_at in
+      if traced t then
+        emit_ev t
+          (Obs.Event.Hop_ack { addr = t.me.Peer.addr; dst = ph.h_dst.Peer.addr; rtt });
+      Rto.observe (rto_of t ph.h_dst.Peer.id) rtt
 
 and handle_dprobe_reply t probe_seq =
   match Hashtbl.find_opt t.dprobe_by_seq probe_seq with
@@ -1105,6 +1147,7 @@ and lookup ?(reliable = true) t ~key ~seq =
   route_payload t payload ~key ~reroutes:0
 
 let crash t =
+  if t.alive && traced t then emit_ev t (Obs.Event.Node_crash { addr = t.me.Peer.addr });
   t.active <- false;
   t.alive <- false
 

@@ -42,6 +42,14 @@ type t
 
 val create : cfg:Config.t -> env:env -> id:Nodeid.t -> addr:int -> t
 
+val set_trace : t -> Repro_obs.Trace.t -> unit
+(** Attach a structured event trace (nodes start with the disabled
+    trace). An enabled trace receives protocol-level events: a
+    [Lookup_hop] with the routing stage each time the node routes or
+    delivers a lookup, [Hop_ack] / [Ack_timeout] with per-hop ack timing,
+    a [Probe] per liveness / distance probe launched, and
+    [Node_join] / [Node_crash] lifecycle events. *)
+
 val me : t -> Peer.t
 val config : t -> Config.t
 

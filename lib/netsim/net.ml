@@ -1,37 +1,59 @@
 module Rng = Repro_util.Rng
+module Obs = Repro_obs
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_dead : int;
+  sent_by_class : (string * int) list;
+}
 
 type 'm t = {
   engine : Simkit.Engine.t;
   topology : Topology.t;
   rng : Rng.t;
   endpoint_of : int -> int;
+  classify : 'm -> string;
+  seq_of : 'm -> int option;
   handlers : (int, src:int -> 'm -> unit) Hashtbl.t;
   mutable loss_rate : float;
   mutable taps : (time:float -> src:int -> dst:int -> 'm -> unit) list;
   mutable n_sent : int;
   mutable n_delivered : int;
-  mutable n_dropped : int;
+  mutable n_dropped_loss : int;
+  mutable n_dropped_dead : int;
+  by_class : (string, int ref) Hashtbl.t;
+  mutable trace : Obs.Trace.t;
 }
 
-let create ?(loss_rate = 0.0) ?(endpoint_of = fun a -> a) ~engine ~topology ~rng () =
+let create ?(loss_rate = 0.0) ?(endpoint_of = fun a -> a)
+    ?(classify = fun _ -> "msg") ?(seq_of = fun _ -> None)
+    ?(trace = Obs.Trace.disabled) ~engine ~topology ~rng () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Net.create: loss_rate";
   {
     engine;
     topology;
     rng;
     endpoint_of;
+    classify;
+    seq_of;
     handlers = Hashtbl.create 256;
     loss_rate;
     taps = [];
     n_sent = 0;
     n_delivered = 0;
-    n_dropped = 0;
+    n_dropped_loss = 0;
+    n_dropped_dead = 0;
+    by_class = Hashtbl.create 16;
+    trace;
   }
 
 let engine t = t.engine
 let topology t = t.topology
 let set_loss_rate t r = t.loss_rate <- r
 let loss_rate t = t.loss_rate
+let set_trace t trace = t.trace <- trace
 
 let register t ~addr handler = Hashtbl.replace t.handlers addr handler
 let unregister t ~addr = Hashtbl.remove t.handlers addr
@@ -52,12 +74,36 @@ let rtt t a b = 2.0 *. delay t a b
 
 let on_send t tap = t.taps <- tap :: t.taps
 
+let count_class t cls =
+  match Hashtbl.find_opt t.by_class cls with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.by_class cls (ref 1)
+
 let send t ~src ~dst msg =
   t.n_sent <- t.n_sent + 1;
+  let cls = t.classify msg in
+  count_class t cls;
   let now = Simkit.Engine.now t.engine in
+  let traced = Obs.Trace.enabled t.trace in
+  if traced then
+    Obs.Trace.emit t.trace
+      {
+        Obs.Event.time = now;
+        body = Obs.Event.Send { src; dst; cls; seq = t.seq_of msg };
+      };
   List.iter (fun tap -> tap ~time:now ~src ~dst msg) t.taps;
   let lost = t.loss_rate > 0.0 && Rng.float t.rng 1.0 < t.loss_rate in
-  if lost then t.n_dropped <- t.n_dropped + 1
+  if lost then begin
+    t.n_dropped_loss <- t.n_dropped_loss + 1;
+    if traced then
+      Obs.Trace.emit t.trace
+        {
+          Obs.Event.time = now;
+          body =
+            Obs.Event.Drop
+              { src; dst; cls; seq = t.seq_of msg; reason = Obs.Event.Loss };
+        }
+  end
   else begin
     let d = delay t src dst in
     ignore
@@ -65,10 +111,45 @@ let send t ~src ~dst msg =
            match Hashtbl.find_opt t.handlers dst with
            | Some handler ->
                t.n_delivered <- t.n_delivered + 1;
+               if Obs.Trace.enabled t.trace then
+                 Obs.Trace.emit t.trace
+                   {
+                     Obs.Event.time = Simkit.Engine.now t.engine;
+                     body = Obs.Event.Recv { src; dst; cls };
+                   };
                handler ~src msg
-           | None -> t.n_dropped <- t.n_dropped + 1))
+           | None ->
+               t.n_dropped_dead <- t.n_dropped_dead + 1;
+               if Obs.Trace.enabled t.trace then
+                 Obs.Trace.emit t.trace
+                   {
+                     Obs.Event.time = Simkit.Engine.now t.engine;
+                     body =
+                       Obs.Event.Drop
+                         {
+                           src;
+                           dst;
+                           cls;
+                           seq = t.seq_of msg;
+                           reason = Obs.Event.Dead_destination;
+                         };
+                   }))
   end
 
 let n_sent t = t.n_sent
 let n_delivered t = t.n_delivered
-let n_dropped t = t.n_dropped
+let n_dropped t = t.n_dropped_loss + t.n_dropped_dead
+
+let sent_in_class t cls =
+  match Hashtbl.find_opt t.by_class cls with Some r -> !r | None -> 0
+
+let stats t =
+  {
+    sent = t.n_sent;
+    delivered = t.n_delivered;
+    dropped_loss = t.n_dropped_loss;
+    dropped_dead = t.n_dropped_dead;
+    sent_by_class =
+      Hashtbl.fold (fun cls r acc -> (cls, !r) :: acc) t.by_class []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  }

@@ -5,13 +5,30 @@
     the topology's one-way propagation delay, unless it is dropped by the
     uniform loss process or the destination has crashed (unregistered) by
     delivery time. Matching the paper's simulator, congestion delays and
-    losses are not modelled. *)
+    losses are not modelled.
+
+    Runtime counters (total sends/deliveries, drops split by cause,
+    per-class send counts) are maintained unconditionally; structured
+    [Send]/[Recv]/[Drop] events flow to an optional
+    {!Repro_obs.Trace}. *)
 
 type 'm t
+
+(** Counter snapshot; [sent_by_class] is sorted by class name. *)
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;  (** dropped by the loss injection at send time *)
+  dropped_dead : int;  (** destination unregistered at delivery time *)
+  sent_by_class : (string * int) list;
+}
 
 val create :
   ?loss_rate:float ->
   ?endpoint_of:(int -> int) ->
+  ?classify:('m -> string) ->
+  ?seq_of:('m -> int option) ->
+  ?trace:Repro_obs.Trace.t ->
   engine:Simkit.Engine.t ->
   topology:Topology.t ->
   rng:Repro_util.Rng.t ->
@@ -20,13 +37,18 @@ val create :
 (** [loss_rate] is the uniform per-message drop probability (default 0).
     [endpoint_of] maps addresses to topology endpoints (default identity)
     — distinct addresses may share an endpoint; they then see a fixed
-    small LAN delay instead of zero. *)
+    small LAN delay instead of zero. [classify] names a message's traffic
+    class for the per-class counters and trace events (default ["msg"]);
+    [seq_of] extracts a lookup sequence number so trace [Send]/[Drop]
+    events can be attributed to a lookup (default [None]). *)
 
 val engine : 'm t -> Simkit.Engine.t
 val topology : 'm t -> Topology.t
 
 val set_loss_rate : 'm t -> float -> unit
 val loss_rate : 'm t -> float
+
+val set_trace : 'm t -> Repro_obs.Trace.t -> unit
 
 val register : 'm t -> addr:int -> (src:int -> 'm -> unit) -> unit
 (** Attach (or replace) the message handler for an endpoint. *)
@@ -49,5 +71,11 @@ val on_send : 'm t -> (time:float -> src:int -> dst:int -> 'm -> unit) -> unit
 
 val n_sent : 'm t -> int
 val n_delivered : 'm t -> int
+
 val n_dropped : 'm t -> int
 (** Losses plus messages addressed to crashed endpoints. *)
+
+val sent_in_class : 'm t -> string -> int
+(** Sends whose [classify] returned the given class name so far. *)
+
+val stats : 'm t -> stats

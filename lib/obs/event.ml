@@ -1,0 +1,161 @@
+type stage = Leafset | Table | Closest
+type drop_reason = Loss | Dead_destination
+
+type body =
+  | Send of { src : int; dst : int; cls : string; seq : int option }
+  | Recv of { src : int; dst : int; cls : string }
+  | Drop of {
+      src : int;
+      dst : int;
+      cls : string;
+      seq : int option;
+      reason : drop_reason;
+    }
+  | Timer_fired
+  | Timer_cancelled
+  | Node_join of { addr : int }
+  | Node_crash of { addr : int }
+  | Lookup_hop of { seq : int; addr : int; stage : stage; hops : int; retx : bool }
+  | Hop_ack of { addr : int; dst : int; rtt : float }
+  | Ack_timeout of { addr : int; dst : int; waited : float; reroutes : int }
+  | Probe of { addr : int; target : int; kind : string }
+
+type t = { time : float; body : body }
+
+let stage_name = function Leafset -> "leafset" | Table -> "table" | Closest -> "closest"
+
+let stage_of_name = function
+  | "leafset" -> Some Leafset
+  | "table" -> Some Table
+  | "closest" -> Some Closest
+  | _ -> None
+
+let drop_reason_name = function Loss -> "loss" | Dead_destination -> "dead-dst"
+
+let drop_reason_of_name = function
+  | "loss" -> Some Loss
+  | "dead-dst" -> Some Dead_destination
+  | _ -> None
+
+let kind_name t =
+  match t.body with
+  | Send _ -> "send"
+  | Recv _ -> "recv"
+  | Drop _ -> "drop"
+  | Timer_fired -> "timer-fired"
+  | Timer_cancelled -> "timer-cancelled"
+  | Node_join _ -> "node-join"
+  | Node_crash _ -> "node-crash"
+  | Lookup_hop _ -> "lookup-hop"
+  | Hop_ack _ -> "hop-ack"
+  | Ack_timeout _ -> "ack-timeout"
+  | Probe _ -> "probe"
+
+let seq_field = function None -> [] | Some s -> [ ("seq", Json.Int s) ]
+
+let to_json t =
+  let fields =
+    match t.body with
+    | Send { src; dst; cls; seq } ->
+        [ ("src", Json.Int src); ("dst", Json.Int dst); ("cls", Json.String cls) ]
+        @ seq_field seq
+    | Recv { src; dst; cls } ->
+        [ ("src", Json.Int src); ("dst", Json.Int dst); ("cls", Json.String cls) ]
+    | Drop { src; dst; cls; seq; reason } ->
+        [
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("cls", Json.String cls);
+          ("reason", Json.String (drop_reason_name reason));
+        ]
+        @ seq_field seq
+    | Timer_fired | Timer_cancelled -> []
+    | Node_join { addr } | Node_crash { addr } -> [ ("addr", Json.Int addr) ]
+    | Lookup_hop { seq; addr; stage; hops; retx } ->
+        [
+          ("seq", Json.Int seq);
+          ("addr", Json.Int addr);
+          ("stage", Json.String (stage_name stage));
+          ("hops", Json.Int hops);
+          ("retx", Json.Bool retx);
+        ]
+    | Hop_ack { addr; dst; rtt } ->
+        [ ("addr", Json.Int addr); ("dst", Json.Int dst); ("rtt", Json.Float rtt) ]
+    | Ack_timeout { addr; dst; waited; reroutes } ->
+        [
+          ("addr", Json.Int addr);
+          ("dst", Json.Int dst);
+          ("waited", Json.Float waited);
+          ("reroutes", Json.Int reroutes);
+        ]
+    | Probe { addr; target; kind } ->
+        [ ("addr", Json.Int addr); ("target", Json.Int target); ("kind", Json.String kind) ]
+  in
+  Json.Obj
+    (("t", Json.Float t.time) :: ("ev", Json.String (kind_name t)) :: fields)
+
+let of_json j =
+  let ( let* ) o f = match o with Some v -> f v | None -> Error "missing field" in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  let flt k = Option.bind (Json.member k j) Json.to_float in
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let bool k = Option.bind (Json.member k j) Json.to_bool in
+  let seq_opt = int "seq" in
+  let* time = flt "t" in
+  let* kind = str "ev" in
+  let body =
+    match kind with
+    | "send" ->
+        let* src = int "src" in
+        let* dst = int "dst" in
+        let* cls = str "cls" in
+        Ok (Send { src; dst; cls; seq = seq_opt })
+    | "recv" ->
+        let* src = int "src" in
+        let* dst = int "dst" in
+        let* cls = str "cls" in
+        Ok (Recv { src; dst; cls })
+    | "drop" ->
+        let* src = int "src" in
+        let* dst = int "dst" in
+        let* cls = str "cls" in
+        let* reason = Option.bind (str "reason") drop_reason_of_name in
+        Ok (Drop { src; dst; cls; seq = seq_opt; reason })
+    | "timer-fired" -> Ok Timer_fired
+    | "timer-cancelled" -> Ok Timer_cancelled
+    | "node-join" ->
+        let* addr = int "addr" in
+        Ok (Node_join { addr })
+    | "node-crash" ->
+        let* addr = int "addr" in
+        Ok (Node_crash { addr })
+    | "lookup-hop" ->
+        let* seq = int "seq" in
+        let* addr = int "addr" in
+        let* stage = Option.bind (str "stage") stage_of_name in
+        let* hops = int "hops" in
+        let* retx = bool "retx" in
+        Ok (Lookup_hop { seq; addr; stage; hops; retx })
+    | "hop-ack" ->
+        let* addr = int "addr" in
+        let* dst = int "dst" in
+        let* rtt = flt "rtt" in
+        Ok (Hop_ack { addr; dst; rtt })
+    | "ack-timeout" ->
+        let* addr = int "addr" in
+        let* dst = int "dst" in
+        let* waited = flt "waited" in
+        let* reroutes = int "reroutes" in
+        Ok (Ack_timeout { addr; dst; waited; reroutes })
+    | "probe" ->
+        let* addr = int "addr" in
+        let* target = int "target" in
+        let* kind = str "kind" in
+        Ok (Probe { addr; target; kind })
+    | other -> Error (Printf.sprintf "unknown event kind %S" other)
+  in
+  match body with Ok body -> Ok { time; body } | Error _ as e -> e
+
+let pp fmt t =
+  let j = to_json t in
+  Format.pp_print_string fmt (Json.to_string j)

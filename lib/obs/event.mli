@@ -1,0 +1,57 @@
+(** Typed simulator events.
+
+    One constructor per observable occurrence in the stack: network sends
+    / deliveries / drops (with their traffic class), engine timer
+    activity, node lifecycle, per-lookup routing hops with the stage of
+    the routing rule that chose the hop, per-hop ack timing, and
+    failure-detection probes. Every event carries its virtual timestamp;
+    node-level events carry the overlay address of the node that emitted
+    them. Events serialise to single-line JSON (one per line in a JSONL
+    trace) and parse back losslessly. *)
+
+(** Which routing rule chose a lookup's next hop (or delivery). *)
+type stage =
+  | Leafset  (** key covered by the leaf set *)
+  | Table  (** routing-table entry matching one more digit *)
+  | Closest  (** fallback: any strictly-closer known peer *)
+
+type drop_reason =
+  | Loss  (** dropped by the uniform loss injection *)
+  | Dead_destination  (** destination unregistered (crashed) by delivery time *)
+
+type body =
+  | Send of { src : int; dst : int; cls : string; seq : int option }
+      (** a message left [src]; [seq] set when it carries a lookup *)
+  | Recv of { src : int; dst : int; cls : string }
+  | Drop of {
+      src : int;
+      dst : int;
+      cls : string;
+      seq : int option;
+      reason : drop_reason;
+    }
+  | Timer_fired
+  | Timer_cancelled
+  | Node_join of { addr : int }  (** the node's join completed (active) *)
+  | Node_crash of { addr : int }
+  | Lookup_hop of { seq : int; addr : int; stage : stage; hops : int; retx : bool }
+      (** lookup [seq] was routed (or delivered) at [addr]; [hops] is the
+          overlay hop count so far, [retx] marks a per-hop reroute *)
+  | Hop_ack of { addr : int; dst : int; rtt : float }
+      (** [addr]'s per-hop ack from [dst] arrived after [rtt] seconds *)
+  | Ack_timeout of { addr : int; dst : int; waited : float; reroutes : int }
+      (** [addr] gave up waiting for [dst]'s per-hop ack *)
+  | Probe of { addr : int; target : int; kind : string }
+      (** a liveness / distance probe launched ([kind]: "leafset", "rt",
+          "distance") *)
+
+type t = { time : float; body : body }
+
+val stage_name : stage -> string
+val drop_reason_name : drop_reason -> string
+val kind_name : t -> string
+(** The event's JSON tag ("send", "lookup-hop", ...). *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val pp : Format.formatter -> t -> unit

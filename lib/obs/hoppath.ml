@@ -1,0 +1,41 @@
+type hop = { time : float; addr : int; stage : Event.stage; hops : int; retx : bool }
+type t = { seq : int; path : hop list }
+
+let hops_by_seq events =
+  let tbl : (int, hop list ref) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (ev : Event.t) ->
+      match ev.Event.body with
+      | Event.Lookup_hop { seq; addr; stage; hops; retx } ->
+          let h = { time = ev.Event.time; addr; stage; hops; retx } in
+          let cell =
+            match Hashtbl.find_opt tbl seq with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add tbl seq c;
+                c
+          in
+          cell := h :: !cell
+      | _ -> ())
+    events;
+  tbl
+
+(* newest-first accumulation + List.rev gives a stable time sort for the
+   common case of already-ordered input; List.stable_sort finishes the job
+   when events arrive shuffled *)
+let order hops =
+  List.stable_sort (fun a b -> Float.compare a.time b.time) (List.rev hops)
+
+let of_events events =
+  hops_by_seq events
+  |> (fun tbl -> Hashtbl.fold (fun seq cell acc -> (seq, !cell) :: acc) tbl [])
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (seq, hops) -> { seq; path = order hops })
+
+let find events ~seq =
+  match Hashtbl.find_opt (hops_by_seq events) seq with
+  | Some cell -> order !cell
+  | None -> []
+
+let length t = List.length t.path

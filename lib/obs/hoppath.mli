@@ -1,0 +1,33 @@
+(** Per-lookup hop-path reconstruction.
+
+    A node emits one {!Event.Lookup_hop} each time it routes (or
+    delivers) a lookup, so grouping those events by sequence number and
+    ordering by time reproduces the exact path the lookup took — which
+    node handled it at each step, under which routing rule, and whether
+    the transmission was a per-hop reroute. Ack/retransmit timing for the
+    same lookup comes from the [Hop_ack] / [Ack_timeout] events emitted
+    by the node waiting on each hop. *)
+
+type hop = {
+  time : float;
+  addr : int;
+  stage : Event.stage;
+  hops : int;  (** the lookup's overlay hop counter when handled here *)
+  retx : bool;
+}
+
+type t = {
+  seq : int;
+  path : hop list;  (** time-ordered; the last entry delivered (or lost) *)
+}
+
+val of_events : Event.t list -> t list
+(** Group every [Lookup_hop] in the (arbitrary-order) event list by
+    sequence number. Paths come back sorted by [seq], each path sorted by
+    time (ties keep emission order). *)
+
+val find : Event.t list -> seq:int -> hop list
+(** The time-ordered path of one lookup; [[]] if never seen. *)
+
+val length : t -> int
+(** Number of nodes the lookup visited (path entries). *)

@@ -1,0 +1,31 @@
+(** Minimal JSON values: enough to write and read back the JSONL traces
+    and counter dumps without an external dependency. Numbers are kept as
+    [Int] when they parse as integers, [Float] otherwise; the accessors
+    coerce between the two. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line rendering (no trailing newline). Floats round-trip
+    exactly ([%.17g]). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing whitespace allowed, anything else is
+    an error. *)
+
+(** Accessors; all return [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts [Int] too. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

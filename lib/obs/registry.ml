@@ -1,0 +1,32 @@
+type value = Int of int | Float of float
+type t = { mutable items : (string * (unit -> value)) list (* reversed *) }
+
+let create () = { items = [] }
+
+let register t name read =
+  if List.mem_assoc name t.items then
+    t.items <- List.map (fun (n, r) -> if n = name then (n, read) else (n, r)) t.items
+  else t.items <- (name, read) :: t.items
+
+let gauge_i t name read = register t name (fun () -> Int (read ()))
+let gauge_f t name read = register t name (fun () -> Float (read ()))
+let dump t = List.rev_map (fun (name, read) -> (name, read ())) t.items
+let find t name = Option.map (fun read -> read ()) (List.assoc_opt name t.items)
+
+let pp fmt t =
+  Format.pp_open_vbox fmt 0;
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      match v with
+      | Int n -> Format.fprintf fmt "%-32s %d" name n
+      | Float f -> Format.fprintf fmt "%-32s %.6g" name f)
+    (dump t);
+  Format.pp_close_box fmt ()
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         (name, match v with Int n -> Json.Int n | Float f -> Json.Float f))
+       (dump t))

@@ -1,0 +1,16 @@
+type t = { enabled : bool; sink : Sink.t option; filter : Event.t -> bool }
+
+let disabled = { enabled = false; sink = None; filter = (fun _ -> true) }
+let create ?(filter = fun _ -> true) sink = { enabled = true; sink = Some sink; filter }
+let enabled t = t.enabled
+
+let emit t ev =
+  if t.enabled && t.filter ev then
+    match t.sink with Some s -> Sink.emit s ev | None -> ()
+
+let events t =
+  match t.sink with Some (Sink.Memory r) -> Sink.Ring.to_list r | Some _ | None -> []
+
+let sink t = t.sink
+let flush t = match t.sink with Some s -> Sink.flush s | None -> ()
+let close t = match t.sink with Some s -> Sink.close s | None -> ()

@@ -1,0 +1,27 @@
+(** The tracing front door handed to instrumented components.
+
+    Hot-path contract: instrumentation sites guard event construction on
+    {!enabled}, so the {!disabled} trace costs a single branch and no
+    allocation per site. An enabled trace forwards every event (passing
+    its optional filter) to its {!Sink}. *)
+
+type t
+
+val disabled : t
+(** The shared null trace: {!enabled} is [false], {!emit} is a no-op. *)
+
+val create : ?filter:(Event.t -> bool) -> Sink.t -> t
+(** [filter] drops events for which it returns [false] before they reach
+    the sink (e.g. excluding engine timer events from a JSONL file). *)
+
+val enabled : t -> bool
+val emit : t -> Event.t -> unit
+
+val events : t -> Event.t list
+(** Contents (oldest first) of a [Memory] sink; [[]] for other sinks. *)
+
+val sink : t -> Sink.t option
+(** [None] for {!disabled}. *)
+
+val flush : t -> unit
+val close : t -> unit

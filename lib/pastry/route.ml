@@ -1,13 +1,20 @@
 type decision = Deliver | Forward of Peer.t
+type rule = Via_leafset | Via_table | Via_closest
+
+let rule_name = function
+  | Via_leafset -> "leafset"
+  | Via_table -> "table"
+  | Via_closest -> "closest"
 
 let no_exclusion _ = false
 
-let next_hop ?(excluded = no_exclusion) ~leafset ~table ~key () =
+let next_hop_explained ?(excluded = no_exclusion) ~leafset ~table ~key () =
   let me = Leafset.me leafset in
   if Leafset.covers leafset key then
-    match Leafset.closest_excluding leafset key ~excluded with
-    | None -> Deliver
-    | Some p -> if Nodeid.equal p.Peer.id me.Peer.id then Deliver else Forward p
+    ( (match Leafset.closest_excluding leafset key ~excluded with
+      | None -> Deliver
+      | Some p -> if Nodeid.equal p.Peer.id me.Peer.id then Deliver else Forward p),
+      Via_leafset )
   else begin
     let b = Routing_table.b table in
     let r = Nodeid.shared_prefix_length ~b key me.Peer.id in
@@ -17,7 +24,7 @@ let next_hop ?(excluded = no_exclusion) ~leafset ~table ~key () =
       | Some _ | None -> None
     in
     match direct with
-    | Some p -> Forward p
+    | Some p -> (Forward p, Via_table)
     | None ->
         (* fallback: any peer strictly closer to the key sharing a prefix of
            length >= r; prefer longer shared prefixes, then ring proximity *)
@@ -40,9 +47,12 @@ let next_hop ?(excluded = no_exclusion) ~leafset ~table ~key () =
           end
         in
         match List.fold_left better None candidates with
-        | Some (_, _, p) -> Forward p
-        | None -> Deliver
+        | Some (_, _, p) -> (Forward p, Via_closest)
+        | None -> (Deliver, Via_closest)
   end
+
+let next_hop ?excluded ~leafset ~table ~key () =
+  fst (next_hop_explained ?excluded ~leafset ~table ~key ())
 
 let empty_slot_on_path ~leafset ~table ~key =
   let me = Leafset.me leafset in

@@ -9,6 +9,24 @@ type decision =
   | Deliver  (** this node is the root (or no better hop exists) *)
   | Forward of Peer.t
 
+(** Which of the three routing rules produced a decision — the per-hop
+    "routing stage" recorded in lookup hop traces. *)
+type rule =
+  | Via_leafset  (** key covered by the leaf set *)
+  | Via_table  (** routing-table entry matching one more digit *)
+  | Via_closest  (** fallback over all known strictly-closer peers *)
+
+val rule_name : rule -> string
+
+val next_hop_explained :
+  ?excluded:(Nodeid.t -> bool) ->
+  leafset:Leafset.t ->
+  table:Routing_table.t ->
+  key:Nodeid.t ->
+  unit ->
+  decision * rule
+(** As {!next_hop}, also naming the rule that made the decision. *)
+
 val next_hop :
   ?excluded:(Nodeid.t -> bool) ->
   leafset:Leafset.t ->

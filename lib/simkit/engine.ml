@@ -1,3 +1,12 @@
+type stats = {
+  scheduled : int;
+  fired : int;
+  cancelled : int;
+  pending : int;
+  heap_hwm : int;
+  events_per_sim_s : float;
+}
+
 type event = { time : float; fn : unit -> unit; mutable cancelled : bool }
 type event_id = event
 
@@ -5,14 +14,26 @@ type t = {
   mutable clock : float;
   queue : event Repro_util.Heap.t;
   mutable live : int;
+  mutable n_scheduled : int;
+  mutable n_fired : int;
+  mutable n_cancelled : int;
+  mutable heap_hwm : int;
+  mutable trace : Repro_obs.Trace.t;
 }
 
-let create () =
+let create ?(trace = Repro_obs.Trace.disabled) () =
   {
     clock = 0.0;
     queue = Repro_util.Heap.create ~leq:(fun a b -> a.time <= b.time) ();
     live = 0;
+    n_scheduled = 0;
+    n_fired = 0;
+    n_cancelled = 0;
+    heap_hwm = 0;
+    trace;
   }
+
+let set_trace t trace = t.trace <- trace
 
 let now t = t.clock
 
@@ -21,6 +42,9 @@ let schedule_at t ~time fn =
   let e = { time; fn; cancelled = false } in
   Repro_util.Heap.push t.queue e;
   t.live <- t.live + 1;
+  t.n_scheduled <- t.n_scheduled + 1;
+  let sz = Repro_util.Heap.size t.queue in
+  if sz > t.heap_hwm then t.heap_hwm <- sz;
   e
 
 let schedule t ~delay fn =
@@ -30,10 +54,25 @@ let schedule t ~delay fn =
 let cancel t e =
   if not e.cancelled then begin
     e.cancelled <- true;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    t.n_cancelled <- t.n_cancelled + 1;
+    if Repro_obs.Trace.enabled t.trace then
+      Repro_obs.Trace.emit t.trace
+        { Repro_obs.Event.time = t.clock; body = Repro_obs.Event.Timer_cancelled }
   end
 
 let pending t = t.live
+
+let stats t =
+  {
+    scheduled = t.n_scheduled;
+    fired = t.n_fired;
+    cancelled = t.n_cancelled;
+    pending = t.live;
+    heap_hwm = t.heap_hwm;
+    events_per_sim_s =
+      (if t.clock > 0.0 then float_of_int t.n_fired /. t.clock else 0.0);
+  }
 
 let step t =
   let rec next () =
@@ -41,8 +80,15 @@ let step t =
     | None -> false
     | Some e when e.cancelled -> next ()
     | Some e ->
+        (* mark spent so a later [cancel] of this id is a no-op rather
+           than corrupting the live count *)
+        e.cancelled <- true;
         t.live <- t.live - 1;
         t.clock <- e.time;
+        t.n_fired <- t.n_fired + 1;
+        if Repro_obs.Trace.enabled t.trace then
+          Repro_obs.Trace.emit t.trace
+            { Repro_obs.Event.time = e.time; body = Repro_obs.Event.Timer_fired };
         e.fn ();
         true
   in

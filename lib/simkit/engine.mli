@@ -9,7 +9,25 @@ type t
 type event_id
 (** Handle for cancelling a scheduled event. *)
 
-val create : unit -> t
+(** Runtime counters, maintained unconditionally (plain integer
+    increments — no observable cost). *)
+type stats = {
+  scheduled : int;  (** events ever scheduled *)
+  fired : int;
+  cancelled : int;
+  pending : int;  (** scheduled, not yet fired or cancelled *)
+  heap_hwm : int;  (** high-water mark of the timer-queue size *)
+  events_per_sim_s : float;  (** fired / current virtual time *)
+}
+
+val create : ?trace:Repro_obs.Trace.t -> unit -> t
+(** [trace] (default {!Repro_obs.Trace.disabled}) receives a
+    [Timer_fired] / [Timer_cancelled] event per firing / cancellation
+    when enabled. *)
+
+val set_trace : t -> Repro_obs.Trace.t -> unit
+
+val stats : t -> stats
 
 val now : t -> float
 (** Current virtual time in seconds. *)
