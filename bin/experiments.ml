@@ -2,7 +2,8 @@
 
    Usage: experiments [EXPERIMENT] [--size quick|medium|full] [--seed N]
    where EXPERIMENT is one of fig3 fig4 fig5 fig6 fig7 fig8 topology
-   ablation selftuning suppression structure all. *)
+   ablation selftuning suppression structure massive-failure bursty-loss
+   all. *)
 
 open Cmdliner
 module E = Repro_experiments.Experiments
@@ -22,6 +23,8 @@ let runners =
     ("structure", E.structure_ablation);
     ("apps", E.apps);
     ("consistency", E.consistency);
+    ("massive-failure", E.massive_failure);
+    ("bursty-loss", E.bursty_loss);
     ("all", E.all);
   ]
 

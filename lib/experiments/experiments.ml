@@ -3,6 +3,8 @@ module Collector = Overlay_metrics.Collector
 module M = Mspastry.Message
 module Trace = Churn.Trace
 module Rng = Repro_util.Rng
+module Netfault = Repro_faults.Netfault
+module Schedule = Repro_faults.Schedule
 
 type size = Quick | Medium | Full
 
@@ -456,6 +458,7 @@ let apps ?(size = Quick) ~seed () =
     t := !t +. 30.0
   done;
   Live.run_until live (duration +. 60.0);
+  Live.close live;
   let total = ref 0 and ratio_acc = ref 0.0 in
   List.iter
     (fun (id, members_then) ->
@@ -480,6 +483,106 @@ let apps ?(size = Quick) ~seed () =
     st.Past_store.Past.get_timeouts st.Past_store.Past.stored_objects
     st.Past_store.Past.repair_pulls
 
+(* ------------------------------------------------------------------ *)
+
+(* E-faults A: simultaneous crash of a large fraction of the overlay
+   under OverNet-like churn, with oracle-checked recovery metrics. *)
+let massive_failure ?(size = Quick) ~seed () =
+  header "E-faults A: massive correlated failures under OverNet-like churn";
+  let scale, duration =
+    match size with
+    | Quick -> (0.3, hours 2.5)
+    | Medium -> (0.6, hours 5.0)
+    | Full -> (1.0, hours 12.0)
+  in
+  let warmup = warmup_for size in
+  let t_fault = warmup +. ((duration -. warmup) /. 2.0) in
+  Printf.printf
+    "crash at t=%.0fs; recovery judged on %gs windows of lookups by send time\n"
+    t_fault (window_for size);
+  Printf.printf "%-8s %8s %8s %10s %12s %12s %12s %12s\n" "crash%" "pre-pop"
+    "post-pop" "TTR(s)" "peak-loss" "peak-incorr" "post-incorr" "post-loss";
+  List.iter
+    (fun fraction ->
+      let trace = Trace.overnet ~scale ~duration (Rng.create (seed + 4000)) in
+      let label = Printf.sprintf "crash-%.0f%%" (100.0 *. fraction) in
+      let config =
+        {
+          (base_config size ~seed) with
+          Sim.fault_schedule =
+            [ Schedule.crash_fraction ~label ~time:t_fault fraction ];
+        }
+      in
+      let r = Sim.run config ~trace in
+      (* convergence check: the tail of the run, well after the fault,
+         must be back to zero incorrect deliveries (oracle-checked) *)
+      let pre = Collector.summary ~since:warmup ~until:t_fault r.Sim.collector in
+      let post =
+        Collector.summary ~since:(t_fault +. 1800.0) ~until:duration r.Sim.collector
+      in
+      let ep =
+        List.find_opt
+          (fun e -> e.Collector.ep_label = label)
+          (Collector.episodes r.Sim.collector)
+      in
+      let ttr, peak_loss, peak_incorr =
+        match ep with
+        | Some e ->
+            ( (match e.Collector.time_to_repair with
+              | Some ttr -> Printf.sprintf "%.0f" ttr
+              | None -> "unrepaired"),
+              e.Collector.peak_loss,
+              e.Collector.peak_incorrect )
+        | None -> ("?", nan, nan)
+      in
+      Printf.printf "%-8.0f %8.0f %8.0f %10s %12.3g %12.3g %12.2e %12.2e\n%!"
+        (100.0 *. fraction) pre.Collector.mean_population
+        post.Collector.mean_population ttr peak_loss peak_incorr
+        post.Collector.incorrect_rate post.Collector.loss_rate)
+    (match size with
+    | Quick -> [ 0.10; 0.25; 0.50 ]
+    | Medium | Full -> [ 0.10; 0.20; 0.30; 0.40; 0.50 ])
+
+(* E-faults B: bursty (Gilbert-Elliott) vs uniform loss at the same
+   long-run average rate. *)
+let bursty_loss ?(size = Quick) ~seed () =
+  header "E-faults B: bursty vs uniform network loss at equal average rate";
+  let burst = 10.0 in
+  Printf.printf "%-10s %-8s %12s %12s %14s %8s %10s\n" "model" "avg%"
+    "raw-achieved" "lookup-loss" "incorrect" "RDP" "control";
+  List.iter
+    (fun avg ->
+      List.iter
+        (fun (name, cfg_adjust) ->
+          let _, r = run_gnutella_with size ~seed ~cfg_adjust in
+          let s = r.Sim.summary in
+          let n = r.Sim.net_stats in
+          let raw =
+            if n.Netsim.Net.sent = 0 then 0.0
+            else
+              float_of_int
+                (n.Netsim.Net.dropped_loss + n.Netsim.Net.dropped_fault)
+              /. float_of_int n.Netsim.Net.sent
+          in
+          Printf.printf "%-10s %-8.1f %12.4f %12.2e %14.2e %8.2f %10.3f\n%!"
+            name (100.0 *. avg) raw s.Collector.loss_rate
+            s.Collector.incorrect_rate s.Collector.rdp_mean
+            s.Collector.control_per_node_per_s)
+        [
+          ("uniform", fun c -> { c with Sim.loss_rate = avg });
+          ( Printf.sprintf "bursty-%g" burst,
+            fun c ->
+              {
+                c with
+                Sim.fault_schedule =
+                  [
+                    Schedule.set_base ~label:"bursty-loss" ~time:0.0
+                      (Netfault.bursty ~avg_loss:avg ~burst);
+                  ];
+              } );
+        ])
+    (match size with Quick -> [ 0.03 ] | Medium | Full -> [ 0.01; 0.03; 0.05 ])
+
 let all ?(size = Quick) ~seed () =
   fig3 ~size ~seed ();
   topology_table ~size ~seed ();
@@ -492,5 +595,7 @@ let all ?(size = Quick) ~seed () =
   suppression ~size ~seed ();
   structure_ablation ~size ~seed ();
   consistency ~size ~seed ();
+  massive_failure ~size ~seed ();
+  bursty_loss ~size ~seed ();
   apps ~size ~seed ();
   fig8 ~size ~seed ()

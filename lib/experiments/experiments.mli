@@ -65,6 +65,17 @@ val consistency : ?size:size -> seed:int -> unit -> unit
     policy against the deliver-at-the-alternative variant, with and
     without link loss. *)
 
+val massive_failure : ?size:size -> seed:int -> unit -> unit
+(** E-faults A: crash 10–50% of the active overlay simultaneously under
+    OverNet-like churn and report the collector's recovery metrics —
+    time-to-repair, peak windowed lookup-loss / incorrect-delivery rates,
+    and the post-convergence (oracle-checked) incorrect rate. *)
+
+val bursty_loss : ?size:size -> seed:int -> unit -> unit
+(** E-faults B: Gilbert–Elliott bursty loss vs the paper's uniform loss
+    at the same long-run average rate (equal raw drop probability,
+    different correlation structure). *)
+
 val apps : ?size:size -> seed:int -> unit -> unit
 (** Extension experiment: the applications the paper motivates (§1, §3.1)
     riding on the overlay under Gnutella-like churn — Scribe multicast

@@ -1,0 +1,44 @@
+type action =
+  | Crash_fraction of { fraction : float; graceful : bool }
+  | Set_base of Netfault.t
+  | Overlay of { fault : Netfault.t; duration : float }
+  | Partition of { groups : int; duration : float }
+  | Heal
+
+type event = { time : float; label : string; action : action }
+type t = event list
+
+let empty = []
+
+let describe = function
+  | Crash_fraction { fraction; graceful } ->
+      Printf.sprintf "%s %g%%" (if graceful then "leave" else "crash") (100.0 *. fraction)
+  | Set_base f -> Printf.sprintf "set-base %s" (Netfault.describe f)
+  | Overlay { fault; duration } ->
+      Printf.sprintf "overlay %s for %gs" (Netfault.describe fault) duration
+  | Partition { groups; duration } ->
+      Printf.sprintf "partition %d ways for %gs" groups duration
+  | Heal -> "heal"
+
+let mk ?label ~time action =
+  let label = match label with Some l -> l | None -> describe action in
+  { time; label; action }
+
+let crash_fraction ?(graceful = false) ?label ~time fraction =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Schedule.crash_fraction";
+  mk ?label ~time (Crash_fraction { fraction; graceful })
+
+let partition ?label ~time ~duration groups =
+  if groups < 2 then invalid_arg "Schedule.partition: groups < 2";
+  if duration <= 0.0 then invalid_arg "Schedule.partition: duration";
+  mk ?label ~time (Partition { groups; duration })
+
+let set_base ?label ~time fault = mk ?label ~time (Set_base fault)
+
+let overlay ?label ~time ~duration fault =
+  if duration <= 0.0 then invalid_arg "Schedule.overlay: duration";
+  mk ?label ~time (Overlay { fault; duration })
+
+let heal ?label time = mk ?label ~time Heal
+
+let sorted t = List.stable_sort (fun a b -> Float.compare a.time b.time) t

@@ -1,0 +1,57 @@
+(** Declarative, time-stamped fault schedules.
+
+    A schedule is a list of [(time, action)] events the harness injects
+    into a running simulation: simultaneous mass crashes, network
+    partitions that heal after an interval, swaps of the base loss model
+    (e.g. uniform → bursty), and transient link-level overlays. The
+    harness interprets the actions ({!Harness.Sim.Live.inject}); this
+    module only defines the vocabulary and smart constructors. *)
+
+type action =
+  | Crash_fraction of { fraction : float; graceful : bool }
+      (** crash this fraction of the currently-active nodes at the same
+          instant (rounded to nearest, at least one node when the
+          fraction is positive and anyone is alive) *)
+  | Set_base of Netfault.t
+      (** replace the base loss model (the uniform [loss_rate] process by
+          default) from this time on *)
+  | Overlay of { fault : Netfault.t; duration : float }
+      (** additionally apply [fault] for [duration] seconds, then remove
+          it ([infinity] = never heals) *)
+  | Partition of { groups : int; duration : float }
+      (** split the topology's endpoints uniformly at random into
+          [groups] groups, drop all cross-group traffic for [duration]
+          seconds, then heal *)
+  | Heal  (** remove every overlay and restore the default base model *)
+
+type event = { time : float; label : string; action : action }
+(** [label] names the fault episode in trace events and recovery
+    metrics. *)
+
+type t = event list
+
+val empty : t
+
+val crash_fraction : ?graceful:bool -> ?label:string -> time:float -> float -> event
+(** [crash_fraction ~time f] — at [time], crash fraction [f] (in
+    [\[0, 1\]]) of the active nodes simultaneously. [graceful] departs
+    with GOODBYEs instead (default [false] — crashes, as in the paper's
+    fault injection). *)
+
+val partition : ?label:string -> time:float -> duration:float -> int -> event
+(** [partition ~time ~duration n] — at [time], split endpoints into [n]
+    (≥ 2) groups for [duration] (> 0) seconds. *)
+
+val set_base : ?label:string -> time:float -> Netfault.t -> event
+
+val overlay : ?label:string -> time:float -> duration:float -> Netfault.t -> event
+
+val heal : ?label:string -> float -> event
+(** [heal time] — clear all injected network faults at [time]. *)
+
+val sorted : t -> t
+(** Stable-sorted by time (the order {!Harness.Sim.Live} applies it). *)
+
+val describe : action -> string
+(** Short human-readable form, e.g. ["crash 25%"], ["partition 2 ways
+    for 300s"]. *)

@@ -3,6 +3,8 @@ module Node = Mspastry.Node
 module M = Mspastry.Message
 module Collector = Overlay_metrics.Collector
 module Obs = Repro_obs
+module Netfault = Repro_faults.Netfault
+module Schedule = Repro_faults.Schedule
 
 type topology_kind = Gatech | Gatech_full | Mercator | Corpnet | Flat of float
 
@@ -38,6 +40,7 @@ type config = {
   drain : float;
   tracing : tracing;
   trace_timers : bool;
+  fault_schedule : Schedule.t;
 }
 
 let default_config =
@@ -54,6 +57,7 @@ let default_config =
     drain = 60.0;
     tracing = Trace_off;
     trace_timers = false;
+    fault_schedule = Schedule.empty;
   }
 
 type result = {
@@ -62,6 +66,7 @@ type result = {
   duration : float;
   join_failures : int;
   nodes_created : int;
+  net_stats : Netsim.Net.stats;
 }
 
 (* set of active node addresses with O(1) random pick *)
@@ -108,6 +113,7 @@ module Live = struct
     rng_ids : Rng.t;
     rng_workload : Rng.t;
     rng_net : Rng.t;
+    rng_faults : Rng.t;
     nodes : (int, Node.t) Hashtbl.t; (* addr -> node *)
     active : Active_set.t;
     trace : Obs.Trace.t;
@@ -116,6 +122,9 @@ module Live = struct
     mutable next_seq : int;
     mutable join_failures : int;
     mutable lookup_end : float;
+    mutable base_fault : Netfault.t option;
+    mutable overlays : (int * Netfault.t) list; (* overlay id -> fault *)
+    mutable next_overlay : int;
     mutable deliver_hooks : (Node.t -> M.lookup -> unit) list;
     mutable forward_hooks :
       (Node.t -> prev:Pastry.Peer.t option -> M.lookup -> Node.forward_decision) list;
@@ -147,6 +156,8 @@ module Live = struct
         (Netsim.Net.stats t.net).Netsim.Net.dropped_loss);
     Obs.Registry.gauge_i r "net.dropped_dead" (fun () ->
         (Netsim.Net.stats t.net).Netsim.Net.dropped_dead);
+    Obs.Registry.gauge_i r "net.dropped_fault" (fun () ->
+        (Netsim.Net.stats t.net).Netsim.Net.dropped_fault);
     List.iter
       (fun cls ->
         let name = M.class_name cls in
@@ -157,12 +168,15 @@ module Live = struct
     Obs.Registry.gauge_i r "overlay.join_failures" (fun () -> t.join_failures);
     r
 
-  let create config ~n_endpoints =
+  (* record construction only; the public [create] below also arms the
+     fault schedule (it needs [inject], defined after the crash path) *)
+  let create_raw config ~n_endpoints =
     let master = Rng.create config.seed in
     let rng_topo = Rng.split master in
     let rng_net = Rng.split master in
     let rng_ids = Rng.split master in
     let rng_workload = Rng.split master in
+    let rng_faults = Rng.split master in
     let topology = make_topology config.topology ~rng:rng_topo ~n_endpoints in
     let trace =
       match config.tracing with
@@ -196,6 +210,7 @@ module Live = struct
       rng_ids;
       rng_workload;
       rng_net;
+      rng_faults;
       nodes = Hashtbl.create 1024;
       active = Active_set.create ();
       trace;
@@ -204,6 +219,9 @@ module Live = struct
       next_seq = 0;
       join_failures = 0;
       lookup_end = infinity;
+      base_fault = None;
+      overlays = [];
+      next_overlay = 0;
       deliver_hooks = [];
       forward_hooks = [];
     }
@@ -354,7 +372,101 @@ module Live = struct
   let active_nodes t =
     Hashtbl.fold (fun _ n acc -> if Node.is_active n then n :: acc else acc) t.nodes []
 
+  (* ---- fault injection ---- *)
+
+  let emit_fault t ~label ~action =
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.emit t.trace
+        {
+          Obs.Event.time = Simkit.Engine.now t.engine;
+          body = Obs.Event.Fault { label; action };
+        }
+
+  (* recompose the net's drop/delay decision from the base loss model and
+     the transient overlays; no model at all restores the plain uniform
+     loss_rate path *)
+  let refresh_faults t =
+    match (t.base_fault, t.overlays) with
+    | None, [] -> Netsim.Net.set_fault_model t.net None
+    | base, overlays ->
+        let base =
+          match base with
+          | Some f -> f
+          | None -> Netfault.uniform ~rate:(Netsim.Net.loss_rate t.net)
+        in
+        Netsim.Net.set_fault_model t.net
+          (Some (Netfault.compose (base :: List.rev_map snd overlays)))
+
+  let add_overlay t ~label ~duration fault =
+    let id = t.next_overlay in
+    t.next_overlay <- id + 1;
+    t.overlays <- (id, fault) :: t.overlays;
+    refresh_faults t;
+    if Float.is_finite duration then
+      ignore
+        (Simkit.Engine.schedule t.engine ~delay:duration (fun () ->
+             if List.mem_assoc id t.overlays then begin
+               t.overlays <- List.remove_assoc id t.overlays;
+               refresh_faults t;
+               emit_fault t ~label ~action:"heal"
+             end))
+
+  let crash_fraction ?(graceful = false) t fraction =
+    if fraction < 0.0 || fraction > 1.0 then invalid_arg "Live.crash_fraction";
+    let n = Active_set.size t.active in
+    let k =
+      if fraction = 0.0 || n = 0 then 0
+      else max 1 (int_of_float (Float.round (fraction *. float_of_int n)))
+    in
+    if k > 0 then begin
+      let addrs = Array.sub t.active.Active_set.addrs 0 n in
+      Rng.shuffle t.rng_faults addrs;
+      for i = 0 to k - 1 do
+        match Hashtbl.find_opt t.nodes addrs.(i) with
+        | Some node -> crash_node ~graceful t node
+        | None -> ()
+      done
+    end;
+    k
+
+  let inject t (ev : Schedule.event) =
+    let label = ev.Schedule.label in
+    (match ev.Schedule.action with
+    | Schedule.Heal -> ()
+    | _ ->
+        Collector.fault_injected t.collector ~time:(Simkit.Engine.now t.engine)
+          ~label);
+    (match ev.Schedule.action with
+    | Schedule.Crash_fraction { fraction; graceful } ->
+        ignore (crash_fraction ~graceful t fraction)
+    | Schedule.Set_base f ->
+        t.base_fault <- Some f;
+        refresh_faults t
+    | Schedule.Overlay { fault; duration } -> add_overlay t ~label ~duration fault
+    | Schedule.Partition { groups; duration } ->
+        let assignment =
+          Array.init t.n_endpoints (fun _ -> Rng.int t.rng_faults groups)
+        in
+        add_overlay t ~label ~duration
+          (Netfault.partition ~group_of:(fun e -> assignment.(e)))
+    | Schedule.Heal ->
+        t.base_fault <- None;
+        t.overlays <- [];
+        refresh_faults t);
+    emit_fault t ~label ~action:(Schedule.describe ev.Schedule.action)
+
+  let create config ~n_endpoints =
+    let t = create_raw config ~n_endpoints in
+    List.iter
+      (fun (ev : Schedule.event) ->
+        ignore
+          (Simkit.Engine.schedule_at t.engine ~time:ev.Schedule.time (fun () ->
+               inject t ev)))
+      (Schedule.sorted config.fault_schedule);
+    t
+
   let run_until t time = Simkit.Engine.run t.engine ~until:time
+  let close t = Obs.Trace.close t.trace
 end
 
 let schedule_trace live trace =
@@ -397,7 +509,7 @@ let run config ~trace =
   let live = live_of_trace config ~trace in
   let duration = Churn.Trace.duration trace in
   Live.run_until live (duration +. config.drain);
-  Obs.Trace.close live.Live.trace;
+  Live.close live;
   let summary =
     Collector.summary ~since:config.warmup ~until:duration live.Live.collector
   in
@@ -407,4 +519,5 @@ let run config ~trace =
     duration;
     join_failures = live.Live.join_failures;
     nodes_created = live.Live.next_addr;
+    net_stats = Netsim.Net.stats live.Live.net;
   }

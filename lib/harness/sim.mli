@@ -42,6 +42,10 @@ type config = {
   trace_timers : bool;
       (** also trace engine timer fire/cancel events — very high volume,
           off by default even when [tracing] is on *)
+  fault_schedule : Repro_faults.Schedule.t;
+      (** timed fault injections (mass crashes, partitions, loss-model
+          swaps) applied on top of the churn trace; default empty. Each
+          event is executed at its timestamp via {!Live.inject}. *)
 }
 
 val default_config : config
@@ -52,6 +56,7 @@ type result = {
   duration : float;
   join_failures : int;  (** nodes whose join never completed *)
   nodes_created : int;
+  net_stats : Netsim.Net.stats;  (** whole-run network counters *)
 }
 
 val run : config -> trace:Churn.Trace.t -> result
@@ -82,6 +87,22 @@ module Live : sig
   (** [crash_node ?graceful t node] — [graceful:true] sends GOODBYE to
       the leaf set before halting. *)
   val crash_node : ?graceful:bool -> t -> Mspastry.Node.t -> unit
+
+  val crash_fraction : ?graceful:bool -> t -> float -> int
+  (** [crash_fraction t f] crashes fraction [f] (in [\[0, 1\]]) of the
+      currently-active nodes at the same instant — the paper's "massive
+      failure" scenario — picking victims uniformly at random from a
+      dedicated RNG stream. Returns the number crashed (at least one when
+      [f > 0] and anyone is active). *)
+
+  val inject : t -> Repro_faults.Schedule.event -> unit
+  (** Execute one fault-schedule event {e now}: crash a fraction of
+      nodes, swap the base network loss model, overlay a transient fault
+      (partitions heal themselves after their duration), or heal
+      everything. Records the episode with the collector (except [Heal])
+      and emits a [Fault] trace event. [config.fault_schedule] events are
+      applied through this at their timestamps. *)
+
   val active_nodes : t -> Mspastry.Node.t list
   val node_count : t -> int
   val lookup : t -> Mspastry.Node.t -> key:Pastry.Nodeid.t -> int
@@ -117,12 +138,17 @@ module Live : sig
   val join_failures : t -> int
   val nodes_created : t -> int
 
+  val close : t -> unit
+  (** Flush and close the trace sink (a JSONL file would otherwise lose
+      buffered events). {!run} calls this; drivers using [run_until]
+      directly should call it once they are done with the session. *)
+
   val trace : t -> Repro_obs.Trace.t
   (** The structured event trace built from [config.tracing] (the
       disabled trace when [Trace_off]). With [Trace_memory] the events
       are available via {!Repro_obs.Trace.events}; with [Trace_jsonl]
-      call {!Repro_obs.Trace.close} when done — {!run} does this
-      automatically, [run_until] does not. *)
+      call {!close} when done — {!run} does this automatically,
+      [run_until] does not. *)
 
   val registry : t -> Repro_obs.Registry.t
   (** A gauge registry over the live engine, network and overlay:
@@ -132,6 +158,12 @@ module Live : sig
       [overlay.*] (active nodes, join failures). Values are read live at
       {!Repro_obs.Registry.dump} time. *)
 end
+
+(** Fault models and schedules (re-exported from {!Repro_faults} for
+    convenience when building a [config]). *)
+module Netfault = Repro_faults.Netfault
+
+module Schedule = Repro_faults.Schedule
 
 val live_of_trace : config -> trace:Churn.Trace.t -> Live.t
 (** A {!Live} session with the trace's joins and crashes pre-scheduled

@@ -20,6 +20,7 @@ type t = {
   lookups : (int, lookup_rec) Hashtbl.t;
   rdp_w : Series.t;
   join_lat : float list ref;
+  mutable faults : (float * string) list; (* episode starts, newest first *)
 }
 
 let create ?(window = 600.0) () =
@@ -33,6 +34,7 @@ let create ?(window = 600.0) () =
     lookups = Hashtbl.create 4096;
     rdp_w = Series.create ~window;
     join_lat = ref [];
+    faults = [];
   }
 
 let record_send t ~time cls =
@@ -58,6 +60,7 @@ let set_population t ~time n =
 let flush t ~time = credit_population t ~time
 
 let lookup_sent t ~seq ~time =
+  if time > t.last_event then t.last_event <- time;
   Hashtbl.replace t.lookups seq
     {
       sent = time;
@@ -69,6 +72,7 @@ let lookup_sent t ~seq ~time =
     }
 
 let lookup_delivered t ~seq ~time ~correct ~direct_delay ~hops =
+  if time > t.last_event then t.last_event <- time;
   match Hashtbl.find_opt t.lookups seq with
   | None -> ()
   | Some r ->
@@ -84,6 +88,10 @@ let lookup_delivered t ~seq ~time ~correct ~direct_delay ~hops =
       end
 
 let join_recorded t ~latency = t.join_lat := latency :: !(t.join_lat)
+
+let fault_injected t ~time ~label =
+  if time > t.last_event then t.last_event <- time;
+  t.faults <- (time, label) :: t.faults
 
 type summary = {
   lookups_sent : int;
@@ -220,6 +228,117 @@ let control_series_by_class t cls =
   |> Array.of_list
 
 let join_latencies t = Array.of_list !(t.join_lat)
+
+(* ---- fault episodes and recovery -------------------------------------
+
+   Dependability rates are attributed to the window a lookup was *sent*
+   in: a window's loss rate is the fraction of its lookups never
+   delivered, its incorrect rate the fraction delivered by a non-root
+   node at least once. Both are computable post-hoc from the per-lookup
+   records, so no extra hot-path state is needed. *)
+
+type wstats = { mutable w_sent : int; mutable w_lost : int; mutable w_incorrect : int }
+
+let sent_windows t =
+  let tbl : (int, wstats) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ r ->
+      let widx = int_of_float (r.sent /. t.window) in
+      let w =
+        match Hashtbl.find_opt tbl widx with
+        | Some w -> w
+        | None ->
+            let w = { w_sent = 0; w_lost = 0; w_incorrect = 0 } in
+            Hashtbl.add tbl widx w;
+            w
+      in
+      w.w_sent <- w.w_sent + 1;
+      if r.deliveries = 0 then w.w_lost <- w.w_lost + 1;
+      if r.incorrect > 0 then w.w_incorrect <- w.w_incorrect + 1)
+    t.lookups;
+  tbl
+
+let window_rates tbl widx =
+  match Hashtbl.find_opt tbl widx with
+  | Some w when w.w_sent > 0 ->
+      let n = float_of_int w.w_sent in
+      Some (float_of_int w.w_lost /. n, float_of_int w.w_incorrect /. n)
+  | Some _ | None -> None
+
+let series_of t pick =
+  let tbl = sent_windows t in
+  Hashtbl.fold (fun widx w acc -> (widx, w) :: acc) tbl []
+  |> List.filter (fun (_, w) -> w.w_sent > 0)
+  |> List.sort compare
+  |> List.map (fun (widx, w) ->
+         ( (float_of_int widx +. 0.5) *. t.window,
+           float_of_int (pick w) /. float_of_int w.w_sent ))
+  |> Array.of_list
+
+let lookup_loss_series t = series_of t (fun w -> w.w_lost)
+let incorrect_series t = series_of t (fun w -> w.w_incorrect)
+
+type episode = {
+  ep_label : string;
+  ep_start : float;
+  baseline_loss : float;
+  baseline_incorrect : float;
+  peak_loss : float;
+  peak_incorrect : float;
+  time_to_repair : float option;
+}
+
+let episodes ?(drain = 30.0) ?(tolerance = 0.01) t =
+  let horizon = Float.max t.pop_last_t t.last_event in
+  let tbl = sent_windows t in
+  (* last window whose lookups have all had [drain] seconds to finish *)
+  let last_judgeable = int_of_float ((horizon -. drain) /. t.window) - 1 in
+  List.rev_map
+    (fun (start, label) ->
+      let wf = int_of_float (start /. t.window) in
+      let baseline_loss, baseline_incorrect =
+        match window_rates tbl (wf - 1) with Some (l, i) -> (l, i) | None -> (0.0, 0.0)
+      in
+      let repaired = function
+        | Some (loss, incorrect) ->
+            loss <= baseline_loss +. tolerance
+            && incorrect <= baseline_incorrect +. tolerance
+        | None -> false
+      in
+      let rec scan w peak_l peak_i =
+        if w > last_judgeable then (peak_l, peak_i, None)
+        else
+          let rates = window_rates tbl w in
+          let peak_l, peak_i =
+            match rates with
+            | Some (l, i) -> (Float.max peak_l l, Float.max peak_i i)
+            | None -> (peak_l, peak_i)
+          in
+          if w > wf && repaired rates then
+            (peak_l, peak_i, Some ((float_of_int (w + 1) *. t.window) -. start))
+          else scan (w + 1) peak_l peak_i
+      in
+      let peak_loss, peak_incorrect, time_to_repair = scan wf 0.0 0.0 in
+      {
+        ep_label = label;
+        ep_start = start;
+        baseline_loss;
+        baseline_incorrect;
+        peak_loss;
+        peak_incorrect;
+        time_to_repair;
+      })
+    t.faults
+
+let pp_episode fmt e =
+  Format.fprintf fmt
+    "@[<h>fault %S at t=%.0fs: baseline loss=%.3g incorrect=%.3g, peak loss=%.3g \
+     incorrect=%.3g, time-to-repair=%s@]"
+    e.ep_label e.ep_start e.baseline_loss e.baseline_incorrect e.peak_loss
+    e.peak_incorrect
+    (match e.time_to_repair with
+    | Some ttr -> Printf.sprintf "%.0fs" ttr
+    | None -> "not repaired in run")
 
 let pp_summary fmt s =
   Format.fprintf fmt

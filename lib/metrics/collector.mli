@@ -36,6 +36,10 @@ val lookup_delivered :
 
 val join_recorded : t -> latency:float -> unit
 
+val fault_injected : t -> time:float -> label:string -> unit
+(** Mark the start of a fault episode (a scheduled mass crash, partition,
+    loss-model change, ...). Recovery is judged post-hoc by {!episodes}. *)
+
 type summary = {
   lookups_sent : int;
   lookups_delivered : int;  (** at least once *)
@@ -72,4 +76,41 @@ val control_series_by_class :
 
 val population_series : t -> (float * float) array
 val join_latencies : t -> float array
+
+val lookup_loss_series : t -> (float * float) array
+(** Windowed lookup loss rate: for each window, the fraction of lookups
+    {e sent} in it that were never delivered. The trailing windows of a
+    run include lookups that may still be in flight — interpret with the
+    same drain caveat as {!summary}. *)
+
+val incorrect_series : t -> (float * float) array
+(** Windowed incorrect-delivery rate: fraction of lookups sent in the
+    window that were delivered by a non-root node at least once. *)
+
+(** Recovery report for one fault episode (ordered by injection time in
+    {!episodes}). Baselines are the loss / incorrect rates of the full
+    window preceding the injection; peaks are the worst windowed rates
+    from the injection until repair (or the end of usable data). *)
+type episode = {
+  ep_label : string;
+  ep_start : float;
+  baseline_loss : float;
+  baseline_incorrect : float;
+  peak_loss : float;
+  peak_incorrect : float;
+  time_to_repair : float option;
+      (** time from injection until the end of the first complete
+          post-fault window whose loss and incorrect rates are back
+          within [tolerance] of the pre-fault baselines; [None] if the
+          run ended first *)
+}
+
+val episodes : ?drain:float -> ?tolerance:float -> t -> episode list
+(** Judge every {!fault_injected} episode. Windows within [drain]
+    (default 30 s) of the last recorded event are not judged — their
+    lookups may legitimately still be in flight. [tolerance] (default
+    0.01 absolute) is the slack over the baseline rates that still counts
+    as repaired. *)
+
+val pp_episode : Format.formatter -> episode -> unit
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,11 +1,13 @@
 module Rng = Repro_util.Rng
 module Obs = Repro_obs
+module Netfault = Repro_faults.Netfault
 
 type stats = {
   sent : int;
   delivered : int;
   dropped_loss : int;
   dropped_dead : int;
+  dropped_fault : int;
   sent_by_class : (string * int) list;
 }
 
@@ -18,11 +20,13 @@ type 'm t = {
   seq_of : 'm -> int option;
   handlers : (int, src:int -> 'm -> unit) Hashtbl.t;
   mutable loss_rate : float;
+  mutable fault : Netfault.t option;
   mutable taps : (time:float -> src:int -> dst:int -> 'm -> unit) list;
   mutable n_sent : int;
   mutable n_delivered : int;
   mutable n_dropped_loss : int;
   mutable n_dropped_dead : int;
+  mutable n_dropped_fault : int;
   by_class : (string, int ref) Hashtbl.t;
   mutable trace : Obs.Trace.t;
 }
@@ -40,19 +44,27 @@ let create ?(loss_rate = 0.0) ?(endpoint_of = fun a -> a)
     seq_of;
     handlers = Hashtbl.create 256;
     loss_rate;
+    fault = None;
     taps = [];
     n_sent = 0;
     n_delivered = 0;
     n_dropped_loss = 0;
     n_dropped_dead = 0;
+    n_dropped_fault = 0;
     by_class = Hashtbl.create 16;
     trace;
   }
 
 let engine t = t.engine
 let topology t = t.topology
-let set_loss_rate t r = t.loss_rate <- r
+
+let set_loss_rate t r =
+  if r < 0.0 || r >= 1.0 then invalid_arg "Net.set_loss_rate: loss_rate";
+  t.loss_rate <- r
+
 let loss_rate t = t.loss_rate
+let set_fault_model t fault = t.fault <- fault
+let fault_model t = t.fault
 let set_trace t trace = t.trace <- trace
 
 let register t ~addr handler = Hashtbl.replace t.handlers addr handler
@@ -92,20 +104,43 @@ let send t ~src ~dst msg =
         body = Obs.Event.Send { src; dst; cls; seq = t.seq_of msg };
       };
   List.iter (fun tap -> tap ~time:now ~src ~dst msg) t.taps;
-  let lost = t.loss_rate > 0.0 && Rng.float t.rng 1.0 < t.loss_rate in
-  if lost then begin
-    t.n_dropped_loss <- t.n_dropped_loss + 1;
-    if traced then
-      Obs.Trace.emit t.trace
-        {
-          Obs.Event.time = now;
-          body =
-            Obs.Event.Drop
-              { src; dst; cls; seq = t.seq_of msg; reason = Obs.Event.Loss };
-        }
-  end
-  else begin
-    let d = delay t src dst in
+  (* the installed fault model replaces the built-in uniform process;
+     the model sees topology endpoints, not overlay addresses *)
+  let verdict =
+    match t.fault with
+    | Some f ->
+        Netfault.decide f ~rng:t.rng ~time:now ~src:(t.endpoint_of src)
+          ~dst:(t.endpoint_of dst)
+    | None ->
+        if t.loss_rate > 0.0 && Rng.float t.rng 1.0 < t.loss_rate then
+          Netfault.Lose
+        else Netfault.Pass
+  in
+  match verdict with
+  | Netfault.Lose ->
+      (match t.fault with
+      | Some _ -> t.n_dropped_fault <- t.n_dropped_fault + 1
+      | None -> t.n_dropped_loss <- t.n_dropped_loss + 1);
+      if traced then
+        Obs.Trace.emit t.trace
+          {
+            Obs.Event.time = now;
+            body =
+              Obs.Event.Drop
+                {
+                  src;
+                  dst;
+                  cls;
+                  seq = t.seq_of msg;
+                  reason =
+                    (match t.fault with
+                    | Some _ -> Obs.Event.Faulted
+                    | None -> Obs.Event.Loss);
+                };
+          }
+  | Netfault.Pass | Netfault.Delay _ ->
+    let extra = match verdict with Netfault.Delay d -> d | _ -> 0.0 in
+    let d = delay t src dst +. extra in
     ignore
       (Simkit.Engine.schedule t.engine ~delay:d (fun () ->
            match Hashtbl.find_opt t.handlers dst with
@@ -134,11 +169,10 @@ let send t ~src ~dst msg =
                            reason = Obs.Event.Dead_destination;
                          };
                    }))
-  end
 
 let n_sent t = t.n_sent
 let n_delivered t = t.n_delivered
-let n_dropped t = t.n_dropped_loss + t.n_dropped_dead
+let n_dropped t = t.n_dropped_loss + t.n_dropped_dead + t.n_dropped_fault
 
 let sent_in_class t cls =
   match Hashtbl.find_opt t.by_class cls with Some r -> !r | None -> 0
@@ -149,6 +183,7 @@ let stats t =
     delivered = t.n_delivered;
     dropped_loss = t.n_dropped_loss;
     dropped_dead = t.n_dropped_dead;
+    dropped_fault = t.n_dropped_fault;
     sent_by_class =
       Hashtbl.fold (fun cls r acc -> (cls, !r) :: acc) t.by_class []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);

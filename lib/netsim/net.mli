@@ -3,9 +3,15 @@
     Endpoints register message handlers under small-integer addresses
     (the topology's endpoint indices). A sent message is delivered after
     the topology's one-way propagation delay, unless it is dropped by the
-    uniform loss process or the destination has crashed (unregistered) by
+    loss process or the destination has crashed (unregistered) by
     delivery time. Matching the paper's simulator, congestion delays and
     losses are not modelled.
+
+    The drop/delay decision is pluggable: by default the paper's
+    i.i.d. uniform process ([loss_rate]) applies; {!set_fault_model}
+    installs a {!Repro_faults.Netfault} model (bursty loss, blackholes,
+    partitions, extra delay, or compositions) that {e replaces} the
+    uniform process until cleared.
 
     Runtime counters (total sends/deliveries, drops split by cause,
     per-class send counts) are maintained unconditionally; structured
@@ -18,8 +24,9 @@ type 'm t
 type stats = {
   sent : int;
   delivered : int;
-  dropped_loss : int;  (** dropped by the loss injection at send time *)
+  dropped_loss : int;  (** dropped by the uniform loss injection at send time *)
   dropped_dead : int;  (** destination unregistered at delivery time *)
+  dropped_fault : int;  (** dropped by an installed fault model at send time *)
   sent_by_class : (string * int) list;
 }
 
@@ -46,7 +53,20 @@ val engine : 'm t -> Simkit.Engine.t
 val topology : 'm t -> Topology.t
 
 val set_loss_rate : 'm t -> float -> unit
+(** Change the uniform drop probability. Raises [Invalid_argument] unless
+    [0.0 <= r < 1.0] (same contract as {!create}). Only effective while
+    no fault model is installed. *)
+
 val loss_rate : 'm t -> float
+
+val set_fault_model : 'm t -> Repro_faults.Netfault.t option -> unit
+(** [set_fault_model t (Some f)] replaces the uniform loss process with
+    [f]: every send consults [f] (with the sender/receiver {e topology
+    endpoints}) and is delivered, dropped (counted as [dropped_fault],
+    traced with reason [Faulted]), or delayed on top of the propagation
+    delay. [None] restores the uniform [loss_rate] process. *)
+
+val fault_model : 'm t -> Repro_faults.Netfault.t option
 
 val set_trace : 'm t -> Repro_obs.Trace.t -> unit
 

@@ -1,5 +1,5 @@
 type stage = Leafset | Table | Closest
-type drop_reason = Loss | Dead_destination
+type drop_reason = Loss | Dead_destination | Faulted
 
 type body =
   | Send of { src : int; dst : int; cls : string; seq : int option }
@@ -19,6 +19,7 @@ type body =
   | Hop_ack of { addr : int; dst : int; rtt : float }
   | Ack_timeout of { addr : int; dst : int; waited : float; reroutes : int }
   | Probe of { addr : int; target : int; kind : string }
+  | Fault of { label : string; action : string }
 
 type t = { time : float; body : body }
 
@@ -30,11 +31,15 @@ let stage_of_name = function
   | "closest" -> Some Closest
   | _ -> None
 
-let drop_reason_name = function Loss -> "loss" | Dead_destination -> "dead-dst"
+let drop_reason_name = function
+  | Loss -> "loss"
+  | Dead_destination -> "dead-dst"
+  | Faulted -> "fault"
 
 let drop_reason_of_name = function
   | "loss" -> Some Loss
   | "dead-dst" -> Some Dead_destination
+  | "fault" -> Some Faulted
   | _ -> None
 
 let kind_name t =
@@ -50,6 +55,7 @@ let kind_name t =
   | Hop_ack _ -> "hop-ack"
   | Ack_timeout _ -> "ack-timeout"
   | Probe _ -> "probe"
+  | Fault _ -> "fault"
 
 let seq_field = function None -> [] | Some s -> [ ("seq", Json.Int s) ]
 
@@ -90,6 +96,8 @@ let to_json t =
         ]
     | Probe { addr; target; kind } ->
         [ ("addr", Json.Int addr); ("target", Json.Int target); ("kind", Json.String kind) ]
+    | Fault { label; action } ->
+        [ ("label", Json.String label); ("action", Json.String action) ]
   in
   Json.Obj
     (("t", Json.Float t.time) :: ("ev", Json.String (kind_name t)) :: fields)
@@ -152,6 +160,10 @@ let of_json j =
         let* target = int "target" in
         let* kind = str "kind" in
         Ok (Probe { addr; target; kind })
+    | "fault" ->
+        let* label = str "label" in
+        let* action = str "action" in
+        Ok (Fault { label; action })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
   match body with Ok body -> Ok { time; body } | Error _ as e -> e

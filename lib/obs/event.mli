@@ -18,6 +18,7 @@ type stage =
 type drop_reason =
   | Loss  (** dropped by the uniform loss injection *)
   | Dead_destination  (** destination unregistered (crashed) by delivery time *)
+  | Faulted  (** dropped by an installed fault model (burst, blackhole, partition) *)
 
 type body =
   | Send of { src : int; dst : int; cls : string; seq : int option }
@@ -44,6 +45,10 @@ type body =
   | Probe of { addr : int; target : int; kind : string }
       (** a liveness / distance probe launched ([kind]: "leafset", "rt",
           "distance") *)
+  | Fault of { label : string; action : string }
+      (** a scheduled fault was injected (or healed): [label] names the
+          episode, [action] describes what happened (e.g.
+          "crash 25% (30 nodes)", "partition 2 ways", "heal") *)
 
 type t = { time : float; body : body }
 

@@ -96,6 +96,63 @@ let test_zero_direct_delay () =
   let s = Collector.summary ~until:10.0 ~drain:0.0 c in
   Alcotest.(check (float 1e-9)) "rdp defaults to 1" 1.0 s.Collector.rdp_mean
 
+let send c seq time = Collector.lookup_sent c ~seq ~time
+
+let deliver c seq time =
+  Collector.lookup_delivered c ~seq ~time ~correct:true ~direct_delay:0.1 ~hops:1
+
+let test_fault_episode_repair () =
+  let c = Collector.create ~window:10.0 () in
+  (* window 0: pristine baseline — 4 lookups, all delivered correctly *)
+  for i = 0 to 3 do
+    send c i (1.0 +. float_of_int i);
+    deliver c i (1.5 +. float_of_int i)
+  done;
+  Collector.fault_injected c ~time:12.0 ~label:"ep";
+  (* window 1 (the fault window): 2 of 4 lost, 1 delivered incorrectly *)
+  List.iter (fun (s, t) -> send c s t) [ (10, 12.0); (11, 13.0); (12, 14.0); (13, 15.0) ];
+  deliver c 10 12.5;
+  Collector.lookup_delivered c ~seq:11 ~time:13.5 ~correct:false ~direct_delay:0.1
+    ~hops:3;
+  (* window 2: still degraded — 1 of 4 lost *)
+  List.iter (fun (s, t) -> send c s t) [ (20, 21.0); (21, 22.0); (22, 23.0); (23, 24.0) ];
+  List.iter (fun (s, t) -> deliver c s t) [ (20, 21.5); (21, 22.5); (22, 23.5) ];
+  (* window 3: fully recovered *)
+  List.iter (fun (s, t) -> send c s t) [ (30, 31.0); (31, 32.0) ];
+  List.iter (fun (s, t) -> deliver c s t) [ (30, 31.5); (31, 32.5) ];
+  (* window 4: pushes the horizon so window 3 becomes judgeable *)
+  send c 40 45.0;
+  deliver c 40 45.5;
+  match Collector.episodes ~drain:0.0 c with
+  | [ ep ] -> (
+      Alcotest.(check string) "label" "ep" ep.Collector.ep_label;
+      Alcotest.(check (float 1e-9)) "start" 12.0 ep.Collector.ep_start;
+      Alcotest.(check (float 1e-9)) "baseline loss" 0.0 ep.Collector.baseline_loss;
+      Alcotest.(check (float 1e-9)) "peak loss" 0.5 ep.Collector.peak_loss;
+      Alcotest.(check (float 1e-9)) "peak incorrect" 0.25 ep.Collector.peak_incorrect;
+      match ep.Collector.time_to_repair with
+      (* repaired at the end of window 3: 4 * 10 - 12 *)
+      | Some ttr -> Alcotest.(check (float 1e-9)) "time to repair" 28.0 ttr
+      | None -> Alcotest.fail "expected repair")
+  | eps -> Alcotest.failf "expected one episode, got %d" (List.length eps)
+
+let test_fault_episode_unrepaired () =
+  let c = Collector.create ~window:10.0 () in
+  for i = 0 to 3 do
+    send c i (1.0 +. float_of_int i);
+    deliver c i (1.5 +. float_of_int i)
+  done;
+  Collector.fault_injected c ~time:12.0 ~label:"dead";
+  (* every post-fault lookup is lost through the end of the run *)
+  List.iter (fun (s, t) -> send c s t) [ (10, 15.0); (20, 25.0); (30, 35.0); (40, 45.0) ];
+  Collector.flush c ~time:50.0;
+  match Collector.episodes ~drain:0.0 c with
+  | [ ep ] ->
+      Alcotest.(check (float 1e-9)) "peak loss" 1.0 ep.Collector.peak_loss;
+      Alcotest.(check bool) "never repaired" true
+        (ep.Collector.time_to_repair = None)
+  | eps -> Alcotest.failf "expected one episode, got %d" (List.length eps)
+
 let suite =
   [
     ( "collector",
@@ -109,5 +166,8 @@ let suite =
         Alcotest.test_case "join latencies" `Quick test_join_latencies;
         Alcotest.test_case "since filter" `Quick test_since_filter;
         Alcotest.test_case "zero direct delay" `Quick test_zero_direct_delay;
+        Alcotest.test_case "fault episode repair" `Quick test_fault_episode_repair;
+        Alcotest.test_case "fault episode unrepaired" `Quick
+          test_fault_episode_unrepaired;
       ] );
   ]

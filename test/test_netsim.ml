@@ -38,7 +38,12 @@ let test_crash_after_send () =
   Net.unregister net ~addr:1;
   Engine.run_all engine;
   Alcotest.(check int) "nothing delivered" 0 !got;
-  Alcotest.(check int) "dropped" 1 (Net.n_dropped net)
+  Alcotest.(check int) "dropped" 1 (Net.n_dropped net);
+  (* the in-flight drop is attributed to the dead destination, not loss *)
+  let s = Net.stats net in
+  Alcotest.(check int) "dropped_dead" 1 s.Net.dropped_dead;
+  Alcotest.(check int) "dropped_loss" 0 s.Net.dropped_loss;
+  Alcotest.(check int) "dropped_fault" 0 s.Net.dropped_fault
 
 let test_loss_statistics () =
   let engine, net = make ~loss_rate:0.5 () in
@@ -53,6 +58,19 @@ let test_loss_statistics () =
 let test_loss_rate_validation () =
   Alcotest.check_raises "loss 1.0" (Invalid_argument "Net.create: loss_rate") (fun () ->
       ignore (make ~loss_rate:1.0 ()))
+
+let test_set_loss_rate_validation () =
+  let _, net = make () in
+  Alcotest.check_raises "loss 1.0" (Invalid_argument "Net.set_loss_rate: loss_rate")
+    (fun () -> Net.set_loss_rate net 1.0);
+  Alcotest.check_raises "negative" (Invalid_argument "Net.set_loss_rate: loss_rate")
+    (fun () -> Net.set_loss_rate net (-0.01));
+  (* the rejected values left the configured rate untouched *)
+  Alcotest.(check (float 1e-9)) "rate unchanged" 0.0 (Net.loss_rate net);
+  Net.set_loss_rate net 0.999;
+  Alcotest.(check (float 1e-9)) "boundary accepted" 0.999 (Net.loss_rate net);
+  Net.set_loss_rate net 0.0;
+  Alcotest.(check (float 1e-9)) "zero accepted" 0.0 (Net.loss_rate net)
 
 let test_on_send_tap () =
   let engine, net = make () in
@@ -108,6 +126,8 @@ let suite =
         Alcotest.test_case "crash drops in-flight" `Quick test_crash_after_send;
         Alcotest.test_case "loss statistics" `Quick test_loss_statistics;
         Alcotest.test_case "loss rate validation" `Quick test_loss_rate_validation;
+        Alcotest.test_case "set loss rate validation" `Quick
+          test_set_loss_rate_validation;
         Alcotest.test_case "on_send tap" `Quick test_on_send_tap;
         Alcotest.test_case "endpoint mapping" `Quick test_endpoint_mapping;
         Alcotest.test_case "set loss rate" `Quick test_set_loss_rate;

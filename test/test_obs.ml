@@ -67,6 +67,13 @@ let every_variant : Event.t list =
       body =
         Event.Lookup_hop { seq = 5; addr = 15; stage = Event.Closest; hops = 1; retx = false };
     };
+    {
+      time = t;
+      body =
+        Event.Drop
+          { src = 7; dst = 8; cls = "lookup"; seq = Some 11; reason = Event.Faulted };
+    };
+    { time = t; body = Event.Fault { label = "mass-crash"; action = "crash 25%" } };
     { time = t; body = Event.Hop_ack { addr = 16; dst = 17; rtt = 0.042 } };
     { time = t; body = Event.Ack_timeout { addr = 18; dst = 19; waited = 1.5; reroutes = 2 } };
     { time = t; body = Event.Probe { addr = 20; target = 21; kind = "leafset" } };
