@@ -85,6 +85,37 @@ let bench_tuning_solver =
     (Staged.stage (fun () ->
          ignore (Mspastry.Tuning.solve_trt Mspastry.Config.default ~n:10_000.0 ~mu:1e-4)))
 
+(* the two per-message fault hooks netsim consults on the hot send path *)
+
+let bench_ge_verdict =
+  let model = Repro_faults.Netfault.bursty ~avg_loss:0.03 ~burst:10.0 in
+  let frng = Repro_util.Rng.create 17 in
+  let i = ref 0 in
+  Test.make ~name:"netfault: Gilbert-Elliott verdict"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore
+           (Repro_faults.Netfault.decide model ~rng:frng ~time:(float_of_int !i)
+              ~src:(!i land 63) ~dst:((!i + 1) land 63))))
+
+let bench_node_fault =
+  let module NF = Repro_faults.Nodefault in
+  let victims = List.init 32 (fun k -> k * 3) in
+  let model =
+    NF.compose
+      [
+        NF.fail_slow ~factor:2.0 ~extra:0.1 ~addrs:victims ();
+        NF.flapping ~period:30.0 ~duty:0.3 ~addrs:[ 1; 4; 7 ] ();
+      ]
+  in
+  let i = ref 0 in
+  Test.make ~name:"nodefault: composed decide (send+recv)"
+    (Staged.stage (fun () ->
+         incr i;
+         let t = float_of_int !i *. 0.01 in
+         ignore (NF.decide model ~time:t ~dir:NF.Send ~addr:(!i land 127));
+         ignore (NF.decide model ~time:t ~dir:NF.Recv ~addr:((!i + 1) land 127))))
+
 let run_micro () =
   let tests =
     [
@@ -95,6 +126,8 @@ let run_micro () =
       bench_event_queue;
       bench_oracle;
       bench_tuning_solver;
+      bench_ge_verdict;
+      bench_node_fault;
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -197,7 +230,7 @@ let () =
   let run_one = function
     | "micro" ->
         let micro = run_micro () in
-        if json then write_json "BENCH_pr1.json" micro
+        if json then write_json "BENCH_pr3.json" micro
     | "fig3" -> E.fig3 ~size ~seed ()
     | "fig4" -> E.fig4 ~size ~seed ()
     | "fig5" -> E.fig5 ~size ~seed ()
@@ -217,6 +250,6 @@ let () =
   match names with
   | [] ->
       let micro = run_micro () in
-      if json then write_json "BENCH_pr1.json" micro;
+      if json then write_json "BENCH_pr3.json" micro;
       E.all ~size ~seed ()
   | names -> List.iter run_one names

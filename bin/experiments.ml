@@ -25,6 +25,9 @@ let runners =
     ("consistency", E.consistency);
     ("massive-failure", E.massive_failure);
     ("bursty-loss", E.bursty_loss);
+    ("fail-slow", E.fail_slow);
+    ("bursty-retries", E.bursty_retries);
+    ("smoke", E.smoke);
     ("all", E.all);
   ]
 

@@ -54,7 +54,7 @@ let print_path path =
         (if h.Obs.Hoppath.retx then "  (reroute)" else ""))
     path
 
-let run nodes hours seed out loss lookup_rate timers sample top =
+let run nodes hours seed out loss lookup_rate timers sample top faults =
   (* -- scenario: Gnutella-calibrated churn scaled to ~[nodes] concurrent - *)
   let scale = float_of_int nodes /. 2000.0 in
   let duration = hours *. 3600.0 in
@@ -68,6 +68,22 @@ let run nodes hours seed out loss lookup_rate timers sample top =
       tracing = Sim.Trace_jsonl out;
       trace_timers = timers;
     }
+  in
+  let config =
+    (* --faults: fail-slow a slice of the overlay mid-run and switch on
+       end-to-end retries, so the suspicion / retry events show up *)
+    if not faults then config
+    else
+      {
+        config with
+        Sim.pastry =
+          { config.Sim.pastry with Mspastry.Config.e2e_lookup_retries = 2 };
+        fault_schedule =
+          [
+            Repro_faults.Schedule.fail_slow ~label:"tracedump-slow" ~extra:2.0
+              ~time:(duration /. 3.0) ~duration:(duration /. 3.0) 0.15;
+          ];
+      }
   in
   Printf.printf "scenario: gnutella-calibrated churn, ~%d concurrent nodes, %.1f h\n"
     (Trace.max_concurrent churn) hours;
@@ -91,6 +107,10 @@ let run nodes hours seed out loss lookup_rate timers sample top =
   let drops_by = Hashtbl.create 16 in
   let talkers = Hashtbl.create 256 in
   let lost_lookup_seqs = ref [] in
+  let suspected_targets = Hashtbl.create 64 in
+  let n_suspected = ref 0 and n_unsuspected = ref 0 in
+  let retry_attempts = Hashtbl.create 8 in
+  let n_retries = ref 0 in
   List.iter
     (fun ev ->
       incr_tbl by_kind (Obs.Event.kind_name ev) 1;
@@ -101,6 +121,13 @@ let run nodes hours seed out loss lookup_rate timers sample top =
       | Obs.Event.Drop { cls; seq; reason; _ } ->
           incr_tbl drops_by (Obs.Event.drop_reason_name reason, cls) 1;
           Option.iter (fun s -> lost_lookup_seqs := s :: !lost_lookup_seqs) seq
+      | Obs.Event.Suspected { target; _ } ->
+          incr n_suspected;
+          incr_tbl suspected_targets target 1
+      | Obs.Event.Unsuspected _ -> incr n_unsuspected
+      | Obs.Event.Lookup_retry { attempt; _ } ->
+          incr n_retries;
+          incr_tbl retry_attempts attempt 1
       | _ -> ())
     events;
 
@@ -165,6 +192,24 @@ let run nodes hours seed out loss lookup_rate timers sample top =
       Printf.printf "  sampled lookup %d (%d nodes):\n" seq (List.length path);
       print_path path
     end
+  end;
+
+  (* -- failure detector & end-to-end retries ------------------------- *)
+  Printf.printf "\nfailure detector / end-to-end retries:\n";
+  if !n_suspected = 0 && !n_retries = 0 then
+    Printf.printf "  (no suspicions or retries traced)\n"
+  else begin
+    Printf.printf "  suspicions: %d (%d later cleared by direct contact)\n"
+      !n_suspected !n_unsuspected;
+    List.iteri
+      (fun i (target, n) ->
+        if i < 5 then Printf.printf "    most-suspected addr %-6d %d times\n" target n)
+      (tbl_to_sorted suspected_targets);
+    Printf.printf "  lookup retries: %d\n" !n_retries;
+    List.iter
+      (fun (attempt, n) -> Printf.printf "    attempt %d: %d lookups\n" attempt n)
+      (List.sort compare
+         (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) retry_attempts []))
   end;
 
   (* -- top talkers --------------------------------------------------- *)
@@ -233,6 +278,13 @@ let sample =
 
 let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"top talkers to list")
 
+let faults =
+  Arg.(value & flag
+       & info [ "faults" ]
+           ~doc:
+             "inject a fail-slow node fault mid-run and enable end-to-end lookup \
+              retries, so suspicion and retry events appear in the trace")
+
 let cmd =
   let info =
     Cmd.info "tracedump"
@@ -242,6 +294,6 @@ let cmd =
     Term.(
       ret
         (const run $ nodes $ hours $ seed $ out $ loss $ lookup_rate $ timers $ sample
-       $ top))
+       $ top $ faults))
 
 let () = exit (Cmd.eval cmd)

@@ -583,6 +583,171 @@ let bursty_loss ?(size = Quick) ~seed () =
         ])
     (match size with Quick -> [ 0.03 ] | Medium | Full -> [ 0.01; 0.03; 0.05 ])
 
+(* E-failslow: fail-slow victims (slower processing, not crashed) and
+   what they do to the failure detector and the lookup-latency tail.
+   Multiplicative slowdowns stretch per-message delays but stay inside
+   the probe timeout; additive processing delays past t_out/2 per
+   direction push probe RTTs over the timeout and manufacture false
+   suspicions of nodes that are alive. *)
+let fail_slow ?(size = Quick) ~seed () =
+  header "E-failslow: fail-slow nodes, detector accuracy and latency tail";
+  let warmup = warmup_for size in
+  let t_fault = warmup in
+  (* a bounded fault interval: additive slowdowns past the probe timeout
+     trigger per-hop ack retransmit storms (the pathology under study),
+     which are expensive to simulate -- keep the faulted window short *)
+  let fault_len = match size with Quick -> 1800.0 | Medium | Full -> 3600.0 in
+  let duration = t_fault +. fault_len +. 900.0 in
+  Printf.printf
+    "fail-slow injected at t=%.0fs for %.0fs; metrics over the faulted interval\n"
+    t_fault fault_len;
+  Printf.printf "%-10s %6s %6s %6s %10s %8s %8s %8s %9s\n" "slowdown" "frac%"
+    "susp" "false" "false-rate" "TTD(s)" "p50(s)" "p99(s)" "success";
+  let percentile a q =
+    let n = Array.length a in
+    if n = 0 then nan else a.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let fractions =
+    match size with Quick -> [ 0.10; 0.25 ] | Medium | Full -> [ 0.05; 0.10; 0.25; 0.50 ]
+  in
+  let rows =
+    ("none", 1.0, 0.0, 0.0)
+    :: List.concat_map
+         (fun (lbl, factor, extra) ->
+           List.map (fun f -> (lbl, factor, extra, f)) fractions)
+         [
+           ("x4", 4.0, 0.0);
+           ("x20", 20.0, 0.0);
+           ("+0.5s", 1.0, 0.5);
+           ("+2s", 1.0, 2.0);
+         ]
+  in
+  List.iter
+    (fun (lbl, factor, extra, fraction) ->
+      let trace =
+        Trace.gnutella ~scale:(gnutella_scale size) ~duration (Rng.create (seed + 1000))
+      in
+      let config =
+        let c = base_config size ~seed in
+        if fraction = 0.0 then c
+        else
+          {
+            c with
+            Sim.fault_schedule =
+              [
+                Schedule.fail_slow ~label:(Printf.sprintf "slow-%s" lbl) ~factor
+                  ~extra ~time:t_fault ~duration:fault_len fraction;
+              ];
+          }
+      in
+      let r = Sim.run config ~trace in
+      let s =
+        Collector.summary ~since:t_fault ~until:(t_fault +. fault_len) r.Sim.collector
+      in
+      let delays =
+        Collector.lookup_delays ~since:t_fault ~until:(t_fault +. fault_len)
+          r.Sim.collector
+      in
+      Printf.printf "%-10s %6.0f %6d %6d %10.3f %8.1f %8.3f %8.3f %9.4f\n%!" lbl
+        (100.0 *. fraction) s.Collector.suspicions s.Collector.false_suspicions
+        s.Collector.false_suspicion_rate s.Collector.detect_latency_mean
+        (percentile delays 0.50) (percentile delays 0.99) s.Collector.success_rate)
+    rows
+
+(* E-faults B': the bursty-loss scenario rerun with end-to-end lookup
+   retries at the origin (plus root-side duplicate suppression). The
+   success column is the fraction of judged lookups with at least one
+   correct delivery -- the acceptance bar is >= 0.99 with retries on. *)
+let bursty_retries ?(size = Quick) ~seed () =
+  header "E-faults B': end-to-end lookup retries under bursty loss";
+  let burst = 10.0 in
+  let avg = 0.03 in
+  Printf.printf "%-10s %9s %8s %9s %12s %12s %10s %10s\n" "model" "detector"
+    "retries" "success" "lookup-loss" "incorrect" "la/n/s" "control";
+  let uniform c = { c with Sim.loss_rate = avg } in
+  let bursty c =
+    {
+      c with
+      Sim.fault_schedule =
+        [
+          Schedule.set_base ~label:"bursty-loss" ~time:0.0
+            (Netfault.bursty ~avg_loss:avg ~burst);
+        ];
+    }
+  in
+  (* [volley]: liveness-probe escalation base. 1 = the paper's detector
+     (every probe a single packet); 8 rides out message-count bursts *)
+  List.iter
+    (fun (name, base_adjust, volley, retries) ->
+      let cfg_adjust c =
+        let c = base_adjust c in
+        {
+          c with
+          Sim.pastry =
+            {
+              c.Sim.pastry with
+              Mspastry.Config.e2e_lookup_retries = retries;
+              probe_volley = volley;
+            };
+        }
+      in
+      let _, r = run_gnutella_with size ~seed ~cfg_adjust in
+      let s = r.Sim.summary in
+      let lookup_acks =
+        match List.assoc_opt M.C_lookup_ack s.Collector.control_by_class with
+        | Some v -> v
+        | None -> 0.0
+      in
+      Printf.printf "%-10s %9s %8d %9.4f %12.2e %12.2e %10.4f %10.3f\n%!" name
+        (if volley > 1 then Printf.sprintf "volley-%d" volley else "paper")
+        retries s.Collector.success_rate s.Collector.loss_rate
+        s.Collector.incorrect_rate lookup_acks s.Collector.control_per_node_per_s)
+    [
+      ("uniform", uniform, 1, 0);
+      ("uniform", uniform, 1, 3);
+      (Printf.sprintf "bursty-%g" burst, bursty, 1, 0);
+      (Printf.sprintf "bursty-%g" burst, bursty, 1, 3);
+      (Printf.sprintf "bursty-%g" burst, bursty, 8, 0);
+      (Printf.sprintf "bursty-%g" burst, bursty, 8, 3);
+    ]
+
+(* CI smoke: a tiny fixed-cost end-to-end run that exercises node-fault
+   injection, the suspicion list and end-to-end retries in a few seconds
+   of wall time. [size] is accepted for CLI uniformity but ignored. *)
+let smoke ?size:_ ~seed () =
+  header "smoke: tiny end-to-end run with node faults (CI)";
+  let duration = 2400.0 and warmup = 600.0 in
+  let trace = Trace.gnutella ~scale:0.02 ~duration (Rng.create (seed + 1000)) in
+  let config =
+    {
+      Sim.default_config with
+      seed;
+      warmup;
+      window = 300.0;
+      pastry =
+        { Sim.default_config.Sim.pastry with Mspastry.Config.e2e_lookup_retries = 2 };
+      fault_schedule =
+        [
+          Schedule.fail_slow ~label:"smoke-slow" ~extra:2.0 ~time:900.0
+            ~duration:600.0 0.2;
+          Schedule.flapping ~label:"smoke-flap" ~time:1500.0 ~duration:600.0
+            ~period:120.0 ~duty:0.3 0.1;
+        ];
+    }
+  in
+  let r = Sim.run config ~trace in
+  let s = r.Sim.summary in
+  let n = r.Sim.net_stats in
+  Printf.printf
+    "nodes=%d lookups=%d success=%.3f loss=%.2e suspicions=%d false=%d node-drops=%d\n%!"
+    r.Sim.nodes_created s.Collector.lookups_sent s.Collector.success_rate
+    s.Collector.loss_rate s.Collector.suspicions s.Collector.false_suspicions
+    n.Netsim.Net.dropped_node;
+  if s.Collector.lookups_sent = 0 then failwith "smoke: no lookups were sent";
+  if s.Collector.suspicions = 0 then failwith "smoke: no suspicions were recorded";
+  if n.Netsim.Net.dropped_node = 0 then failwith "smoke: node-fault hook never fired";
+  print_endline "smoke ok"
+
 let all ?(size = Quick) ~seed () =
   fig3 ~size ~seed ();
   topology_table ~size ~seed ();
@@ -597,5 +762,7 @@ let all ?(size = Quick) ~seed () =
   consistency ~size ~seed ();
   massive_failure ~size ~seed ();
   bursty_loss ~size ~seed ();
+  fail_slow ~size ~seed ();
+  bursty_retries ~size ~seed ();
   apps ~size ~seed ();
   fig8 ~size ~seed ()

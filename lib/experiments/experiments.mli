@@ -76,6 +76,24 @@ val bursty_loss : ?size:size -> seed:int -> unit -> unit
     at the same long-run average rate (equal raw drop probability,
     different correlation structure). *)
 
+val fail_slow : ?size:size -> seed:int -> unit -> unit
+(** E-failslow: inject fail-slow node faults (multiplicative slowdown or
+    additive per-message processing delay) into a fraction of the
+    overlay and report failure-detector accuracy — suspicion counts,
+    false-suspicion rate of slow-but-alive victims, time-to-detect true
+    (churn) crashes — and the lookup-latency tail (p50/p99). *)
+
+val bursty_retries : ?size:size -> seed:int -> unit -> unit
+(** E-faults B rerun with end-to-end lookup retries (and root-side
+    duplicate suppression) enabled: success rate under uniform vs bursty
+    loss, with and without retries. The acceptance bar is ≥ 99% of
+    judged lookups correctly delivered with retries on. *)
+
+val smoke : ?size:size -> seed:int -> unit -> unit
+(** Fixed-cost tiny run for CI: exercises node-fault injection, the
+    suspicion list and end-to-end retries, and fails loudly if any of
+    those paths stayed cold. Ignores [size]. *)
+
 val apps : ?size:size -> seed:int -> unit -> unit
 (** Extension experiment: the applications the paper motivates (§1, §3.1)
     riding on the overlay under Gnutella-like churn — Scribe multicast

@@ -1,0 +1,83 @@
+type verdict = Pass | Mute | Slow of { factor : float; extra : float }
+type dir = Send | Recv
+
+type t = {
+  desc : string;
+  decide : time:float -> dir:dir -> addr:int -> verdict;
+}
+
+let none = { desc = "none"; decide = (fun ~time:_ ~dir:_ ~addr:_ -> Pass) }
+
+let member_table addrs =
+  let tbl = Hashtbl.create (max 16 (List.length addrs)) in
+  List.iter (fun a -> Hashtbl.replace tbl a ()) addrs;
+  tbl
+
+let fail_slow ?(factor = 1.0) ?(extra = 0.0) ~addrs () =
+  if factor < 1.0 then invalid_arg "Nodefault.fail_slow: factor < 1";
+  if extra < 0.0 then invalid_arg "Nodefault.fail_slow: extra < 0";
+  if factor = 1.0 && extra = 0.0 then
+    invalid_arg "Nodefault.fail_slow: no slowdown (factor 1, extra 0)";
+  let victims = member_table addrs in
+  {
+    desc =
+      Printf.sprintf "fail-slow(%d nodes x%.3g +%.3gs)" (Hashtbl.length victims)
+        factor extra;
+    decide =
+      (fun ~time:_ ~dir:_ ~addr ->
+        if Hashtbl.mem victims addr then Slow { factor; extra } else Pass);
+  }
+
+let fail_silent ~addrs () =
+  let victims = member_table addrs in
+  {
+    desc = Printf.sprintf "fail-silent(%d nodes)" (Hashtbl.length victims);
+    decide =
+      (fun ~time:_ ~dir ~addr ->
+        if dir = Send && Hashtbl.mem victims addr then Mute else Pass);
+  }
+
+let flapping ?(phase = 0.0) ~period ~duty ~addrs () =
+  if period <= 0.0 then invalid_arg "Nodefault.flapping: period";
+  if duty <= 0.0 || duty >= 1.0 then invalid_arg "Nodefault.flapping: duty";
+  let victims = member_table addrs in
+  let down_for = duty *. period in
+  {
+    desc =
+      Printf.sprintf "flapping(%d nodes, %gs period, %g%% down)"
+        (Hashtbl.length victims) period (100.0 *. duty);
+    decide =
+      (fun ~time ~dir:_ ~addr ->
+        if not (Hashtbl.mem victims addr) then Pass
+        else begin
+          let tau =
+            let r = Float.rem (time -. phase) period in
+            if r < 0.0 then r +. period else r
+          in
+          if tau < down_for then Mute else Pass
+        end);
+  }
+
+let compose = function
+  | [] -> none
+  | [ t ] -> t
+  | ts ->
+      {
+        desc = String.concat " + " (List.map (fun t -> t.desc) ts);
+        decide =
+          (fun ~time ~dir ~addr ->
+            let rec go factor extra = function
+              | [] ->
+                  if factor > 1.0 || extra > 0.0 then Slow { factor; extra }
+                  else Pass
+              | t :: rest -> (
+                  match t.decide ~time ~dir ~addr with
+                  | Mute -> Mute
+                  | Pass -> go factor extra rest
+                  | Slow s -> go (factor *. s.factor) (extra +. s.extra) rest)
+            in
+            go 1.0 0.0 ts);
+      }
+
+let describe t = t.desc
+let decide t ~time ~dir ~addr = t.decide ~time ~dir ~addr

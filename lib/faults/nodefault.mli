@@ -1,0 +1,66 @@
+(** Per-node fault models: nodes that are slow or mute rather than dead.
+
+    Where {!Netfault} rules on {e links} (given topology endpoints), a
+    node fault rules on the {e node} at one end of a message — the
+    network layer consults the installed model twice per message, once
+    for the sender and once for the receiver:
+
+    - {!fail_slow} — a slowdown factor on the propagation delay and/or a
+      constant extra processing delay, applied to every message the node
+      handles (in both directions: a slow node is slow to emit and slow
+      to process);
+    - {!fail_silent} — the node {e receives but never sends}. Distinct
+      from a crash: the network still delivers to it, so it keeps
+      absorbing probes and lookups while its replies vanish;
+    - {!flapping} — timed crash/recover cycles: while down the node
+      neither sends nor receives, but (unlike a real crash) it keeps its
+      routing state and resumes with it when the cycle turns.
+
+    Models are pure functions of virtual time, so no RNG is consumed on
+    the message path — victim selection happens once, in the harness,
+    from the dedicated fault RNG stream. Addresses are {e overlay
+    addresses} (netsim registration addresses), not topology endpoints:
+    faults attach to nodes, not to the network under them. *)
+
+type verdict =
+  | Pass
+  | Mute  (** drop: the node is silent (or off) for this message *)
+  | Slow of { factor : float; extra : float }
+      (** deliver after [propagation * factor + extra] *)
+
+(** The role of the consulted node in the message under decision. *)
+type dir = Send | Recv
+
+type t
+
+val none : t
+(** Always {!Pass}. *)
+
+val fail_slow : ?factor:float -> ?extra:float -> addrs:int list -> unit -> t
+(** Every message one of [addrs] sends or receives is delayed: the
+    propagation delay is multiplied by [factor] (≥ 1, default 1) and
+    [extra] seconds (≥ 0, default 0) of processing delay are added. At
+    least one of the two must be non-trivial. A round trip through a
+    slow node pays the penalty on both legs. *)
+
+val fail_silent : addrs:int list -> unit -> t
+(** Messages {e sent} by one of [addrs] are dropped ({!Mute} on
+    {!Send}); deliveries to it pass untouched. *)
+
+val flapping : ?phase:float -> period:float -> duty:float -> addrs:int list -> unit -> t
+(** Each of [addrs] cycles down/up forever: down for [duty * period]
+    seconds (both directions {!Mute}), then up for the rest of the
+    period. [duty] must be in (0, 1). The cycle starts {e down} at time
+    [phase] (default 0; the harness passes the injection time, so
+    victims crash the moment the fault lands). Whether a message gets
+    through is judged at send time for the sender and at {e delivery}
+    time for the receiver — a message sent while the receiver is down
+    but delivered after it recovers goes through, like a real reboot. *)
+
+val compose : t list -> t
+(** Consult left to right: any {!Mute} drops the message; slowdown
+    factors multiply and extras add. *)
+
+val describe : t -> string
+
+val decide : t -> time:float -> dir:dir -> addr:int -> verdict

@@ -1,8 +1,14 @@
+type node_fault_kind =
+  | Fail_slow of { factor : float; extra : float }
+  | Fail_silent
+  | Flapping of { period : float; duty : float }
+
 type action =
   | Crash_fraction of { fraction : float; graceful : bool }
   | Set_base of Netfault.t
   | Overlay of { fault : Netfault.t; duration : float }
   | Partition of { groups : int; duration : float }
+  | Node_fault of { fraction : float; kind : node_fault_kind; duration : float }
   | Heal
 
 type event = { time : float; label : string; action : action }
@@ -18,6 +24,16 @@ let describe = function
       Printf.sprintf "overlay %s for %gs" (Netfault.describe fault) duration
   | Partition { groups; duration } ->
       Printf.sprintf "partition %d ways for %gs" groups duration
+  | Node_fault { fraction; kind; duration } ->
+      let kind_s =
+        match kind with
+        | Fail_slow { factor; extra } ->
+            Printf.sprintf "fail-slow x%.3g +%.3gs" factor extra
+        | Fail_silent -> "fail-silent"
+        | Flapping { period; duty } ->
+            Printf.sprintf "flapping %gs/%g%%" period (100.0 *. duty)
+      in
+      Printf.sprintf "%s %g%% for %gs" kind_s (100.0 *. fraction) duration
   | Heal -> "heal"
 
 let mk ?label ~time action =
@@ -38,6 +54,29 @@ let set_base ?label ~time fault = mk ?label ~time (Set_base fault)
 let overlay ?label ~time ~duration fault =
   if duration <= 0.0 then invalid_arg "Schedule.overlay: duration";
   mk ?label ~time (Overlay { fault; duration })
+
+let node_fault ?label ~time ~duration ~fraction kind =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Schedule.node_fault: fraction";
+  if duration <= 0.0 then invalid_arg "Schedule.node_fault: duration";
+  (match kind with
+  | Fail_slow { factor; extra } ->
+      if factor < 1.0 || extra < 0.0 || (factor = 1.0 && extra = 0.0) then
+        invalid_arg "Schedule.node_fault: fail-slow parameters"
+  | Fail_silent -> ()
+  | Flapping { period; duty } ->
+      if period <= 0.0 || duty <= 0.0 || duty >= 1.0 then
+        invalid_arg "Schedule.node_fault: flapping parameters");
+  mk ?label ~time (Node_fault { fraction; kind; duration })
+
+let fail_slow ?label ?(factor = 1.0) ?(extra = 0.0) ~time ~duration fraction =
+  node_fault ?label ~time ~duration ~fraction (Fail_slow { factor; extra })
+
+let fail_silent ?label ~time ~duration fraction =
+  node_fault ?label ~time ~duration ~fraction Fail_silent
+
+let flapping ?label ~time ~duration ~period ~duty fraction =
+  node_fault ?label ~time ~duration ~fraction (Flapping { period; duty })
 
 let heal ?label time = mk ?label ~time Heal
 

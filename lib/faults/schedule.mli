@@ -7,6 +7,17 @@
     harness interprets the actions ({!Harness.Sim.Live.inject}); this
     module only defines the vocabulary and smart constructors. *)
 
+type node_fault_kind =
+  | Fail_slow of { factor : float; extra : float }
+      (** every message the victims handle is delayed: propagation
+          × [factor] + [extra] seconds of processing *)
+  | Fail_silent
+      (** victims receive but never send — probes and lookups keep being
+          delivered to them while all their replies vanish *)
+  | Flapping of { period : float; duty : float }
+      (** victims cycle down ([duty · period] seconds, silent in both
+          directions) and up, phase-locked to the injection time *)
+
 type action =
   | Crash_fraction of { fraction : float; graceful : bool }
       (** crash this fraction of the currently-active nodes at the same
@@ -22,7 +33,14 @@ type action =
       (** split the topology's endpoints uniformly at random into
           [groups] groups, drop all cross-group traffic for [duration]
           seconds, then heal *)
-  | Heal  (** remove every overlay and restore the default base model *)
+  | Node_fault of { fraction : float; kind : node_fault_kind; duration : float }
+      (** afflict this fraction of the currently-active nodes (victims
+          drawn from the dedicated fault RNG stream) with a per-node
+          fault for [duration] seconds, then lift it ([infinity] = never
+          heals) *)
+  | Heal
+      (** remove every overlay — link and node — and restore the default
+          base model *)
 
 type event = { time : float; label : string; action : action }
 (** [label] names the fault episode in trace events and recovery
@@ -46,8 +64,38 @@ val set_base : ?label:string -> time:float -> Netfault.t -> event
 
 val overlay : ?label:string -> time:float -> duration:float -> Netfault.t -> event
 
+val fail_slow :
+  ?label:string ->
+  ?factor:float ->
+  ?extra:float ->
+  time:float ->
+  duration:float ->
+  float ->
+  event
+(** [fail_slow ~time ~duration f] — at [time], make fraction [f] of the
+    active nodes fail-slow (propagation × [factor], default 1, plus
+    [extra] seconds, default 0; at least one must be non-trivial) for
+    [duration] seconds. *)
+
+val fail_silent : ?label:string -> time:float -> duration:float -> float -> event
+(** [fail_silent ~time ~duration f] — fraction [f] of the active nodes
+    go mute (receive but never send) for [duration] seconds. *)
+
+val flapping :
+  ?label:string ->
+  time:float ->
+  duration:float ->
+  period:float ->
+  duty:float ->
+  float ->
+  event
+(** [flapping ~time ~duration ~period ~duty f] — fraction [f] of the
+    active nodes cycle down/up ([duty] ∈ (0, 1) of each [period] spent
+    down, starting down at injection) for [duration] seconds. *)
+
 val heal : ?label:string -> float -> event
-(** [heal time] — clear all injected network faults at [time]. *)
+(** [heal time] — clear all injected network and node faults at
+    [time]. *)
 
 val sorted : t -> t
 (** Stable-sorted by time (the order {!Harness.Sim.Live} applies it). *)

@@ -4,6 +4,7 @@ module M = Mspastry.Message
 module Collector = Overlay_metrics.Collector
 module Obs = Repro_obs
 module Netfault = Repro_faults.Netfault
+module Nodefault = Repro_faults.Nodefault
 module Schedule = Repro_faults.Schedule
 
 type topology_kind = Gatech | Gatech_full | Mercator | Corpnet | Flat of float
@@ -124,7 +125,10 @@ module Live = struct
     mutable lookup_end : float;
     mutable base_fault : Netfault.t option;
     mutable overlays : (int * Netfault.t) list; (* overlay id -> fault *)
+    mutable node_overlays : (int * Nodefault.t) list;
     mutable next_overlay : int;
+    crash_times : (int, float) Hashtbl.t; (* addr -> non-graceful crash time *)
+    detected : (int, unit) Hashtbl.t; (* crashed addrs already suspected once *)
     mutable deliver_hooks : (Node.t -> M.lookup -> unit) list;
     mutable forward_hooks :
       (Node.t -> prev:Pastry.Peer.t option -> M.lookup -> Node.forward_decision) list;
@@ -158,6 +162,8 @@ module Live = struct
         (Netsim.Net.stats t.net).Netsim.Net.dropped_dead);
     Obs.Registry.gauge_i r "net.dropped_fault" (fun () ->
         (Netsim.Net.stats t.net).Netsim.Net.dropped_fault);
+    Obs.Registry.gauge_i r "net.dropped_node" (fun () ->
+        (Netsim.Net.stats t.net).Netsim.Net.dropped_node);
     List.iter
       (fun cls ->
         let name = M.class_name cls in
@@ -221,7 +227,10 @@ module Live = struct
       lookup_end = infinity;
       base_fault = None;
       overlays = [];
+      node_overlays = [];
       next_overlay = 0;
+      crash_times = Hashtbl.create 64;
+      detected = Hashtbl.create 64;
       deliver_hooks = [];
       forward_hooks = [];
     }
@@ -324,6 +333,20 @@ module Live = struct
     in
     let node = Node.create ~cfg:t.config.pastry ~env ~id ~addr in
     Node.set_trace node t.trace;
+    (* failure-detector accuracy against harness ground truth: a
+       suspicion of a node still in [t.nodes] is false (slow, not dead);
+       the first suspicion of a crashed node times the detector *)
+    Node.set_on_suspicion node (fun ~target ->
+        let time = Simkit.Engine.now t.engine in
+        let target_alive = Hashtbl.mem t.nodes target in
+        Collector.suspicion_recorded t.collector ~time ~target_alive;
+        if not target_alive then
+          match Hashtbl.find_opt t.crash_times target with
+          | Some crashed_at when not (Hashtbl.mem t.detected target) ->
+              Hashtbl.replace t.detected target ();
+              Collector.crash_detected t.collector ~time
+                ~latency:(time -. crashed_at)
+          | Some _ | None -> ());
     node_ref := Some node;
     Hashtbl.replace t.nodes addr node;
     Netsim.Net.register t.net ~addr (fun ~src msg -> Node.handle node ~src msg);
@@ -357,7 +380,8 @@ module Live = struct
     let addr = (Node.me node).Pastry.Peer.addr in
     let id = (Node.me node).Pastry.Peer.id in
     let was_active = Node.is_active node in
-    if graceful then Node.leave node;
+    if graceful then Node.leave node
+    else Hashtbl.replace t.crash_times addr (Simkit.Engine.now t.engine);
     Node.crash node;
     Netsim.Net.unregister t.net ~addr;
     Hashtbl.remove t.nodes addr;
@@ -411,23 +435,54 @@ module Live = struct
                emit_fault t ~label ~action:"heal"
              end))
 
-  let crash_fraction ?(graceful = false) t fraction =
-    if fraction < 0.0 || fraction > 1.0 then invalid_arg "Live.crash_fraction";
+  (* a random [fraction] of the active nodes, from the dedicated fault
+     RNG stream (at least one when the fraction is positive) *)
+  let pick_victims t fraction =
+    if fraction < 0.0 || fraction > 1.0 then invalid_arg "Live.pick_victims";
     let n = Active_set.size t.active in
     let k =
       if fraction = 0.0 || n = 0 then 0
       else max 1 (int_of_float (Float.round (fraction *. float_of_int n)))
     in
-    if k > 0 then begin
+    if k = 0 then [||]
+    else begin
       let addrs = Array.sub t.active.Active_set.addrs 0 n in
       Rng.shuffle t.rng_faults addrs;
-      for i = 0 to k - 1 do
-        match Hashtbl.find_opt t.nodes addrs.(i) with
+      Array.sub addrs 0 k
+    end
+
+  let crash_fraction ?(graceful = false) t fraction =
+    let victims = pick_victims t fraction in
+    Array.iter
+      (fun addr ->
+        match Hashtbl.find_opt t.nodes addr with
         | Some node -> crash_node ~graceful t node
-        | None -> ()
-      done
-    end;
-    k
+        | None -> ())
+      victims;
+    Array.length victims
+
+  (* like the link-fault overlays: compose the active per-node models and
+     install (or clear) the composite on the net *)
+  let refresh_node_faults t =
+    match t.node_overlays with
+    | [] -> Netsim.Net.set_node_fault_model t.net None
+    | overlays ->
+        Netsim.Net.set_node_fault_model t.net
+          (Some (Nodefault.compose (List.rev_map snd overlays)))
+
+  let add_node_overlay t ~label ~duration fault =
+    let id = t.next_overlay in
+    t.next_overlay <- id + 1;
+    t.node_overlays <- (id, fault) :: t.node_overlays;
+    refresh_node_faults t;
+    if Float.is_finite duration then
+      ignore
+        (Simkit.Engine.schedule t.engine ~delay:duration (fun () ->
+             if List.mem_assoc id t.node_overlays then begin
+               t.node_overlays <- List.remove_assoc id t.node_overlays;
+               refresh_node_faults t;
+               emit_fault t ~label ~action:"heal"
+             end))
 
   let inject t (ev : Schedule.event) =
     let label = ev.Schedule.label in
@@ -449,10 +504,26 @@ module Live = struct
         in
         add_overlay t ~label ~duration
           (Netfault.partition ~group_of:(fun e -> assignment.(e)))
+    | Schedule.Node_fault { fraction; kind; duration } ->
+        let addrs = Array.to_list (pick_victims t fraction) in
+        let fault =
+          match kind with
+          | Schedule.Fail_slow { factor; extra } ->
+              Nodefault.fail_slow ~factor ~extra ~addrs ()
+          | Schedule.Fail_silent -> Nodefault.fail_silent ~addrs ()
+          | Schedule.Flapping { period; duty } ->
+              (* phase-lock to the injection instant: victims go down now *)
+              Nodefault.flapping
+                ~phase:(Simkit.Engine.now t.engine)
+                ~period ~duty ~addrs ()
+        in
+        add_node_overlay t ~label ~duration fault
     | Schedule.Heal ->
         t.base_fault <- None;
         t.overlays <- [];
-        refresh_faults t);
+        t.node_overlays <- [];
+        refresh_faults t;
+        refresh_node_faults t);
     emit_fault t ~label ~action:(Schedule.describe ev.Schedule.action)
 
   let create config ~n_endpoints =

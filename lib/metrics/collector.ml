@@ -8,6 +8,7 @@ type lookup_rec = {
   mutable first_hops : int;
   mutable first_rdp : float;
   mutable incorrect : int;
+  mutable correct : int;
 }
 
 type t = {
@@ -21,6 +22,8 @@ type t = {
   rdp_w : Series.t;
   join_lat : float list ref;
   mutable faults : (float * string) list; (* episode starts, newest first *)
+  mutable suspicions : (float * bool) list; (* (time, target was alive) *)
+  mutable detections : (float * float) list; (* (time, crash->detect latency) *)
 }
 
 let create ?(window = 600.0) () =
@@ -35,6 +38,8 @@ let create ?(window = 600.0) () =
     rdp_w = Series.create ~window;
     join_lat = ref [];
     faults = [];
+    suspicions = [];
+    detections = [];
   }
 
 let record_send t ~time cls =
@@ -69,6 +74,7 @@ let lookup_sent t ~seq ~time =
       first_hops = 0;
       first_rdp = nan;
       incorrect = 0;
+      correct = 0;
     }
 
 let lookup_delivered t ~seq ~time ~correct ~direct_delay ~hops =
@@ -77,7 +83,8 @@ let lookup_delivered t ~seq ~time ~correct ~direct_delay ~hops =
   | None -> ()
   | Some r ->
       r.deliveries <- r.deliveries + 1;
-      if not correct then r.incorrect <- r.incorrect + 1;
+      if correct then r.correct <- r.correct + 1
+      else r.incorrect <- r.incorrect + 1;
       if r.deliveries = 1 then begin
         let delay = time -. r.sent in
         r.first_delay <- delay;
@@ -92,6 +99,14 @@ let join_recorded t ~latency = t.join_lat := latency :: !(t.join_lat)
 let fault_injected t ~time ~label =
   if time > t.last_event then t.last_event <- time;
   t.faults <- (time, label) :: t.faults
+
+let suspicion_recorded t ~time ~target_alive =
+  if time > t.last_event then t.last_event <- time;
+  t.suspicions <- (time, target_alive) :: t.suspicions
+
+let crash_detected t ~time ~latency =
+  if time > t.last_event then t.last_event <- time;
+  t.detections <- (time, latency) :: t.detections
 
 type summary = {
   lookups_sent : int;
@@ -110,6 +125,12 @@ type summary = {
   mean_population : float;
   joins : int;
   join_latency_mean : float;
+  success_rate : float;
+  suspicions : int;
+  false_suspicions : int;
+  false_suspicion_rate : float;
+  crashes_detected : int;
+  detect_latency_mean : float;
 }
 
 let in_range since until (time, _) = time >= since && time <= until
@@ -131,6 +152,7 @@ let summary ?(since = 0.0) ?(until = infinity) ?(drain = 30.0) t =
   and delivered = ref 0
   and lost = ref 0
   and incorrect = ref 0
+  and succeeded = ref 0
   and delay_acc = ref 0.0
   and rdp_acc = ref 0.0
   and hops_acc = ref 0
@@ -141,7 +163,8 @@ let summary ?(since = 0.0) ?(until = infinity) ?(drain = 30.0) t =
         incorrect := !incorrect + r.incorrect;
         if r.sent <= lookup_cutoff then begin
           incr sent;
-          if r.deliveries > 0 then incr delivered else incr lost
+          if r.deliveries > 0 then incr delivered else incr lost;
+          if r.correct > 0 then incr succeeded
         end;
         if r.deliveries > 0 then begin
           incr first_n;
@@ -168,6 +191,13 @@ let summary ?(since = 0.0) ?(until = infinity) ?(drain = 30.0) t =
   let lookup_msgs = sum_series ~since ~until (List.assq M.C_lookup t.sends) in
   let span = (Float.min until t.pop_last_t -. since) in
   let joins = List.length !(t.join_lat) in
+  let in_span time = time >= since && time <= until in
+  let susp = List.filter (fun (time, _) -> in_span time) t.suspicions in
+  let n_susp = List.length susp in
+  let n_false = List.length (List.filter snd susp) in
+  let dets = List.filter (fun (time, _) -> in_span time) t.detections in
+  let n_det = List.length dets in
+  let det_lat = List.fold_left (fun acc (_, l) -> acc +. l) 0.0 dets in
   {
     lookups_sent = !sent;
     lookups_delivered = !delivered;
@@ -187,6 +217,12 @@ let summary ?(since = 0.0) ?(until = infinity) ?(drain = 30.0) t =
     join_latency_mean =
       (if joins = 0 then 0.0
        else List.fold_left ( +. ) 0.0 !(t.join_lat) /. float_of_int joins);
+    success_rate = fdiv (float_of_int !succeeded) !sent;
+    suspicions = n_susp;
+    false_suspicions = n_false;
+    false_suspicion_rate = fdiv (float_of_int n_false) n_susp;
+    crashes_detected = n_det;
+    detect_latency_mean = fdiv det_lat n_det;
   }
 
 let rdp_series t = Series.means t.rdp_w
@@ -228,6 +264,17 @@ let control_series_by_class t cls =
   |> Array.of_list
 
 let join_latencies t = Array.of_list !(t.join_lat)
+
+let lookup_delays ?(since = 0.0) ?(until = infinity) t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _ r ->
+      if r.sent >= since && r.sent <= until && r.deliveries > 0 then
+        acc := r.first_delay :: !acc)
+    t.lookups;
+  let a = Array.of_list !acc in
+  Array.sort Float.compare a;
+  a
 
 (* ---- fault episodes and recovery -------------------------------------
 
@@ -342,9 +389,16 @@ let pp_episode fmt e =
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "@[<v>lookups: sent=%d delivered=%d lost=%d (loss=%.2e) incorrect=%d (%.2e)@,\
+    "@[<v>lookups: sent=%d delivered=%d lost=%d (loss=%.2e) incorrect=%d (%.2e) \
+     success=%.4f@,\
      rdp=%.2f delay=%.1fms hops=%.2f@,\
      control=%.3f msg/s/node (pop=%.0f), joins=%d (mean latency %.1fs)@]"
     s.lookups_sent s.lookups_delivered s.lookups_lost s.loss_rate s.incorrect_deliveries
-    s.incorrect_rate s.rdp_mean (s.delay_mean *. 1000.0) s.hops_mean
-    s.control_per_node_per_s s.mean_population s.joins s.join_latency_mean
+    s.incorrect_rate s.success_rate s.rdp_mean (s.delay_mean *. 1000.0) s.hops_mean
+    s.control_per_node_per_s s.mean_population s.joins s.join_latency_mean;
+  if s.suspicions > 0 || s.crashes_detected > 0 then
+    Format.fprintf fmt
+      "@,@[<h>detector: suspicions=%d false=%d (%.3f), crashes detected=%d \
+       (mean %.1fs)@]"
+      s.suspicions s.false_suspicions s.false_suspicion_rate s.crashes_detected
+      s.detect_latency_mean

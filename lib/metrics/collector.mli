@@ -40,6 +40,15 @@ val fault_injected : t -> time:float -> label:string -> unit
 (** Mark the start of a fault episode (a scheduled mass crash, partition,
     loss-model change, ...). Recovery is judged post-hoc by {!episodes}. *)
 
+val suspicion_recorded : t -> time:float -> target_alive:bool -> unit
+(** A node's failure detector quarantined a peer. [target_alive] is the
+    harness's ground truth at that instant — [true] makes it a false
+    suspicion (the peer was slow or unlucky, not dead). *)
+
+val crash_detected : t -> time:float -> latency:float -> unit
+(** First suspicion of a genuinely crashed node, [latency] seconds after
+    its crash (detector time-to-detect; recorded once per crash). *)
+
 type summary = {
   lookups_sent : int;
   lookups_delivered : int;  (** at least once *)
@@ -58,6 +67,16 @@ type summary = {
   mean_population : float;
   joins : int;
   join_latency_mean : float;
+  success_rate : float;
+      (** fraction of judged lookups with at least one {e correct}
+          delivery — the end-to-end criterion (a lookup can be
+          "delivered" yet never reach its true root) *)
+  suspicions : int;  (** failure-detector quarantines in the interval *)
+  false_suspicions : int;  (** ... whose target was alive (ground truth) *)
+  false_suspicion_rate : float;
+  crashes_detected : int;
+  detect_latency_mean : float;
+      (** mean seconds from a true crash to its first suspicion *)
 }
 
 val summary : ?since:float -> ?until:float -> ?drain:float -> t -> summary
@@ -76,6 +95,11 @@ val control_series_by_class :
 
 val population_series : t -> (float * float) array
 val join_latencies : t -> float array
+
+val lookup_delays : ?since:float -> ?until:float -> t -> float array
+(** First-delivery delays (seconds) of lookups sent in the interval,
+    sorted ascending — percentile/tail analysis for the fail-slow
+    experiments. *)
 
 val lookup_loss_series : t -> (float * float) array
 (** Windowed lookup loss rate: for each window, the fraction of lookups

@@ -4,6 +4,7 @@ type t = {
   t_ls : float;
   t_out : float;
   max_probe_retries : int;
+  probe_volley : int;
   per_hop_acks : bool;
   active_probing : bool;
   self_tuning : bool;
@@ -27,6 +28,10 @@ type t = {
   max_join_retries : int;
   tuning_refresh_period : float;
   repair_delay : float;
+  suspicion_backoff : float;
+  suspicion_backoff_max : float;
+  e2e_lookup_retries : int;
+  e2e_timeout_min : float;
 }
 
 let default =
@@ -36,6 +41,7 @@ let default =
     t_ls = 30.0;
     t_out = 3.0;
     max_probe_retries = 2;
+    probe_volley = 1;
     per_hop_acks = true;
     active_probing = true;
     self_tuning = true;
@@ -59,6 +65,10 @@ let default =
     max_join_retries = 3;
     tuning_refresh_period = 30.0;
     repair_delay = 1.0;
+    suspicion_backoff = 30.0;
+    suspicion_backoff_max = 600.0;
+    e2e_lookup_retries = 0;
+    e2e_timeout_min = 1.0;
   }
 
 let validate t =
@@ -68,6 +78,7 @@ let validate t =
   else if t.t_ls <= 0.0 then err "t_ls must be positive"
   else if t.t_out <= 0.0 then err "t_out must be positive"
   else if t.max_probe_retries < 0 then err "max_probe_retries must be >= 0"
+  else if t.probe_volley < 1 then err "probe_volley must be >= 1"
   else if t.lr_target <= 0.0 || t.lr_target >= 1.0 then
     err "lr_target must be in (0,1)"
   else if t.t_rt_fixed <= 0.0 || t.t_rt_max <= 0.0 then err "Trt bounds must be positive"
@@ -76,6 +87,11 @@ let validate t =
     err "bad per-hop RTO bounds"
   else if t.max_hop_reroutes < 0 then err "max_hop_reroutes must be >= 0"
   else if t.root_retries < 0 then err "root_retries must be >= 0"
+  else if t.suspicion_backoff < 0.0 then err "suspicion_backoff must be >= 0"
+  else if t.suspicion_backoff_max < t.suspicion_backoff then
+    err "suspicion_backoff_max must be >= suspicion_backoff"
+  else if t.e2e_lookup_retries < 0 then err "e2e_lookup_retries must be >= 0"
+  else if t.e2e_timeout_min <= 0.0 then err "e2e_timeout_min must be positive"
   else Ok ()
 
 let pp fmt t =

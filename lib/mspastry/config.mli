@@ -12,6 +12,16 @@ type t = {
   t_ls : float;  (** leaf-set heartbeat period Tls, seconds (30) *)
   t_out : float;  (** probe timeout To, seconds (3 — TCP SYN timeout) *)
   max_probe_retries : int;  (** probe retries before declaring failure (2) *)
+  probe_volley : int;
+      (** escalation base for liveness-probe packet trains: probe retry
+          [k] goes out as [probe_volley{^k}] back-to-back copies (any one
+          reply proves liveness), so the first transmission is always a
+          single packet and only retries — already evidence of a possible
+          loss burst — escalate. [1] (default, the paper's behaviour) =
+          every transmission is a single packet. Larger bases let the
+          detector ride out correlated loss bursts that would otherwise
+          convict an alive peer, at the cost of extra probe traffic on
+          lossy links. *)
   per_hop_acks : bool;  (** §3.2 per-hop acknowledgements *)
   active_probing : bool;  (** §3.2 routing-table liveness probes *)
   self_tuning : bool;  (** §4.1 tune Trt from estimated N and µ *)
@@ -47,6 +57,23 @@ type t = {
   max_join_retries : int;
   tuning_refresh_period : float;  (** how often Trt is recomputed *)
   repair_delay : float;  (** damping delay before leaf-set repair probes *)
+  suspicion_backoff : float;
+      (** negative caching: a peer that exhausts probe retries is
+          quarantined this long (seconds) — no probes, no admission from
+          gossip, excluded from routing. Each re-suspicion doubles the
+          quarantine (up to [suspicion_backoff_max]); any direct message
+          from the peer clears it. [0] disables the suspicion list
+          (pre-PR-3 behaviour). Default 30. *)
+  suspicion_backoff_max : float;  (** quarantine doubling clamp (600) *)
+  e2e_lookup_retries : int;
+      (** end-to-end lookup retries at the origin: if no [Lookup_ack]
+          arrives within an RTO-derived timeout, the lookup is re-routed
+          from scratch, with doubling timeout, up to this many re-issues.
+          Also switches on root-side duplicate-delivery suppression and
+          delivery receipts. [0] (default) = off — the paper's per-hop
+          reliability only. *)
+  e2e_timeout_min : float;
+      (** floor for the first end-to-end retry timeout (seconds, 1.0) *)
 }
 
 val default : t

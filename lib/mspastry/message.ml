@@ -18,6 +18,7 @@ type payload =
   | Ls_probe_reply of { leaf : Peer.t list; failed : Nodeid.t list; trt : float }
   | Heartbeat
   | Lookup of lookup
+  | Lookup_ack of { seq : int }
   | Hop_ack of { hop_id : int }
   | Rt_probe
   | Rt_probe_reply of { trt : float }
@@ -41,6 +42,7 @@ let make ?hop ~sender payload = { sender; hop; payload }
 
 type traffic_class =
   | C_lookup
+  | C_lookup_ack
   | C_distance_probe
   | C_leafset
   | C_rt_probe
@@ -51,6 +53,7 @@ type traffic_class =
 let classify t =
   match t.payload with
   | Lookup l -> if l.retx then C_ack_retransmit else C_lookup
+  | Lookup_ack _ -> C_lookup_ack
   | Hop_ack _ -> C_ack_retransmit
   | Join_request _ | Join_reply _ | Row_announce _ | Nn_request | Nn_reply _ -> C_join
   | Ls_probe _ | Ls_probe_reply _ | Heartbeat | Repair_request _ | Repair_reply _
@@ -62,6 +65,7 @@ let classify t =
 
 let class_name = function
   | C_lookup -> "lookup"
+  | C_lookup_ack -> "lookup-acks"
   | C_distance_probe -> "distance-probes"
   | C_leafset -> "leafset-hb/probes"
   | C_rt_probe -> "rt-probes"
@@ -70,6 +74,15 @@ let class_name = function
   | C_maintenance -> "rt-maintenance"
 
 let all_classes =
-  [ C_lookup; C_distance_probe; C_leafset; C_rt_probe; C_ack_retransmit; C_join; C_maintenance ]
+  [
+    C_lookup;
+    C_lookup_ack;
+    C_distance_probe;
+    C_leafset;
+    C_rt_probe;
+    C_ack_retransmit;
+    C_join;
+    C_maintenance;
+  ]
 
 let is_control = function C_lookup -> false | _ -> true

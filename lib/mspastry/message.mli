@@ -31,6 +31,9 @@ type payload =
   | Ls_probe_reply of { leaf : Peer.t list; failed : Nodeid.t list; trt : float }
   | Heartbeat
   | Lookup of lookup
+  | Lookup_ack of { seq : int }
+      (** end-to-end receipt: the root delivered lookup [seq]; sent
+          straight back to the origin when end-to-end retries are on *)
   | Hop_ack of { hop_id : int }
   | Rt_probe  (** routing-table liveness probe *)
   | Rt_probe_reply of { trt : float }
@@ -66,6 +69,7 @@ val make : ?hop:int -> sender:Peer.t -> payload -> t
     printing the paper's five categories). *)
 type traffic_class =
   | C_lookup  (** first transmission of a lookup hop — not control *)
+  | C_lookup_ack  (** end-to-end delivery receipts (control) *)
   | C_distance_probe
   | C_leafset
   | C_rt_probe

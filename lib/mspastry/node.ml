@@ -53,6 +53,17 @@ type nn_state = {
 
 type buffered = { bf_payload : M.payload; bf_key : Nodeid.t; mutable bf_attempts : int }
 
+(* negative-caching entry: quarantined until [s_until]; kept after expiry
+   so a re-suspicion doubles the backoff instead of starting over *)
+type susp = { s_addr : int; mutable s_until : float; mutable s_backoff : float }
+
+type e2e_state = {
+  e_key : Nodeid.t;
+  mutable e_attempt : int;
+  mutable e_timeout : float;
+  mutable e_timer : Simkit.Engine.event_id option;
+}
+
 type t = {
   cfg : Config.t;
   env : env;
@@ -65,6 +76,10 @@ type t = {
   ls_probes : (Nodeid.t, probe_state) Hashtbl.t;
   rt_probes : (Nodeid.t, probe_state) Hashtbl.t;
   failed : (Nodeid.t, unit) Hashtbl.t;
+  suspicion : (Nodeid.t, susp) Hashtbl.t;
+  e2e : (int, e2e_state) Hashtbl.t; (* lookup seq -> pending retry state *)
+  delivered_seqs : (int * int, unit) Hashtbl.t; (* (origin addr, seq) *)
+  mutable on_suspicion : (target:int -> unit) option;
   last_heard : (Nodeid.t, float) Hashtbl.t;
   last_sent : (Nodeid.t, float) Hashtbl.t;
   rtos : (Nodeid.t, Rto.t) Hashtbl.t;
@@ -108,6 +123,10 @@ let create ~cfg ~env ~id ~addr =
     ls_probes = Hashtbl.create 16;
     rt_probes = Hashtbl.create 16;
     failed = Hashtbl.create 16;
+    suspicion = Hashtbl.create 16;
+    e2e = Hashtbl.create 16;
+    delivered_seqs = Hashtbl.create 64;
+    on_suspicion = None;
     last_heard = Hashtbl.create 64;
     last_sent = Hashtbl.create 64;
     rtos = Hashtbl.create 64;
@@ -158,6 +177,14 @@ let estimated_mu t = Tuning.estimate_mu t.tuning ~m:(m_unique t) ~now:(now t)
 let failed_set t = Hashtbl.fold (fun id () acc -> id :: acc) t.failed []
 let pending_probes t = Hashtbl.length t.ls_probes + Hashtbl.length t.rt_probes
 let pending_hops t = Hashtbl.length t.pending
+let pending_e2e t = Hashtbl.length t.e2e
+let set_on_suspicion t f = t.on_suspicion <- Some f
+
+let suspected_set t =
+  let n = now t in
+  Hashtbl.fold
+    (fun id s acc -> if s.s_until > n then id :: acc else acc)
+    t.suspicion []
 
 let rto_of t id =
   match Hashtbl.find_opt t.rtos id with
@@ -174,6 +201,11 @@ let send_msg ?hop t (dst : Peer.t) payload =
   Hashtbl.replace t.last_sent dst.Peer.id (now t);
   t.env.send ~dst:dst.Peer.addr (M.make ?hop ~sender:t.me payload)
 
+let is_suspected t id =
+  match Hashtbl.find_opt t.suspicion id with
+  | Some s -> s.s_until > now t
+  | None -> false
+
 let is_excluded t id =
   (match Hashtbl.find_opt t.excluded id with
   | Some expiry when expiry > now t -> true
@@ -182,6 +214,7 @@ let is_excluded t id =
       false
   | None -> false)
   || Hashtbl.mem t.failed id
+  || is_suspected t id
 
 let cancel_timer t = function Some ev -> t.env.cancel ev | None -> ()
 
@@ -191,6 +224,29 @@ let traced t = Obs.Trace.enabled t.trace
 let emit_probe t (target : Peer.t) kind =
   if traced t then
     emit_ev t (Obs.Event.Probe { addr = t.me.Peer.addr; target = target.Peer.addr; kind })
+
+(* quarantine a peer that exhausted probe retries: gossip cannot
+   reinstall it (probe/admission gates check [is_suspected]) until the
+   backoff expires, and each relapse doubles the backoff. Only a direct
+   message from the peer ([note_alive]) clears the entry. Callers use
+   [suspect_and_revalidate], which also schedules an active re-probe at
+   expiry — a whole neighbourhood can evict the same peer, after which
+   no gossip ever names it again, so waiting passively for gossip would
+   make a false eviction permanent. *)
+let suspect_peer t (j : Peer.t) =
+  if t.cfg.suspicion_backoff > 0.0 then begin
+    let backoff =
+      match Hashtbl.find_opt t.suspicion j.Peer.id with
+      | Some s -> Float.min t.cfg.suspicion_backoff_max (2.0 *. s.s_backoff)
+      | None -> t.cfg.suspicion_backoff
+    in
+    Hashtbl.replace t.suspicion j.Peer.id
+      { s_addr = j.Peer.addr; s_until = now t +. backoff; s_backoff = backoff };
+    if traced t then
+      emit_ev t
+        (Obs.Event.Suspected { addr = t.me.Peer.addr; target = j.Peer.addr; backoff });
+    match t.on_suspicion with Some f -> f ~target:j.Peer.addr | None -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Distance probing (PNS RTT measurement, §4.2)                        *)
@@ -291,7 +347,11 @@ and maybe_measure ?(fill_only = false) t target ~announce =
       | Some ts -> now t -. ts < t.cfg.rt_maintenance_period /. 2.0
       | None -> false
     in
-    if needed && (not recently) && not (Hashtbl.mem t.failed target.Peer.id) then begin
+    if
+      needed && (not recently)
+      && (not (Hashtbl.mem t.failed target.Peer.id))
+      && not (is_suspected t target.Peer.id)
+    then begin
       Hashtbl.replace t.last_measured target.Peer.id (now t);
       request_dprobe t target ~total:t.cfg.distance_probe_count ~announce
         ~on_done:(fun result ->
@@ -312,7 +372,8 @@ let rec probe t (j : Peer.t) =
   if
     (not (Nodeid.equal j.Peer.id t.me.Peer.id))
     && (not (Hashtbl.mem t.ls_probes j.Peer.id))
-    && not (Hashtbl.mem t.failed j.Peer.id)
+    && (not (Hashtbl.mem t.failed j.Peer.id))
+    && not (is_suspected t j.Peer.id)
   then begin
     let st = { p_peer = j; p_retries = 0; p_timer = None } in
     Hashtbl.replace t.ls_probes j.Peer.id st;
@@ -320,9 +381,21 @@ let rec probe t (j : Peer.t) =
     send_ls_probe t st
   end
 
+and probe_copies t retries =
+  (* escalating volley: retry [k] goes out as [probe_volley^k]
+     back-to-back copies (replies are idempotent, any one proves
+     liveness). The first transmission always costs one packet; only
+     retries — already evidence of a possible loss burst — escalate, so
+     the common case is untaxed while an exhausted episode has pushed
+     enough packets through the link to outlast a burst. *)
+  let rec pow acc n = if n <= 0 then acc else pow (acc * t.cfg.probe_volley) (n - 1) in
+  min 512 (pow 1 retries)
+
 and send_ls_probe t st =
-  send_msg t st.p_peer
-    (M.Ls_probe { leaf = leaf_members_payload t; failed = failed_payload t; trt = t.local_trt });
+  for _ = 1 to probe_copies t st.p_retries do
+    send_msg t st.p_peer
+      (M.Ls_probe { leaf = leaf_members_payload t; failed = failed_payload t; trt = t.local_trt })
+  done;
   st.p_timer <-
     Some
       (t.env.schedule ~delay:t.cfg.t_out (fun () -> if t.alive then probe_timeout t st))
@@ -340,6 +413,7 @@ and probe_timeout t st =
       ignore (Routing_table.remove t.table j.Peer.id);
       Trace_log.Log.debug (fun m -> m "%a: leaf %a marked faulty" Peer.pp t.me Peer.pp j);
       Hashtbl.replace t.failed j.Peer.id ();
+      suspect_and_revalidate t j;
       Tuning.record_failure t.tuning ~now:(now t);
       Hashtbl.remove t.ls_probes j.Peer.id;
       (* §4.1: announce a confirmed leaf-set failure to the other members,
@@ -425,7 +499,8 @@ and rt_probe t (j : Peer.t) =
     (not (Nodeid.equal j.Peer.id t.me.Peer.id))
     && (not (Hashtbl.mem t.rt_probes j.Peer.id))
     && (not (Hashtbl.mem t.ls_probes j.Peer.id))
-    && not (Hashtbl.mem t.failed j.Peer.id)
+    && (not (Hashtbl.mem t.failed j.Peer.id))
+    && not (is_suspected t j.Peer.id)
   then begin
     let st = { p_peer = j; p_retries = 0; p_timer = None } in
     Hashtbl.replace t.rt_probes j.Peer.id st;
@@ -434,7 +509,9 @@ and rt_probe t (j : Peer.t) =
   end
 
 and send_rt_probe t st =
-  send_msg t st.p_peer M.Rt_probe;
+  for _ = 1 to probe_copies t st.p_retries do
+    send_msg t st.p_peer M.Rt_probe
+  done;
   st.p_timer <-
     Some
       (t.env.schedule ~delay:t.cfg.t_out (fun () -> if t.alive then rt_probe_timeout t st))
@@ -454,18 +531,57 @@ and rt_probe_timeout t st =
       (* repair is lazy: periodic maintenance and passive repair refill
          the slot *)
       if Leafset.mem t.leafset j.Peer.id then begin
-        (* it was also a leaf — escalate to the leaf-set machinery *)
+        (* it was also a leaf — escalate to the leaf-set machinery
+           (suspicion waits for the leaf probes' own verdict, which would
+           otherwise be gated) *)
         Hashtbl.remove t.failed j.Peer.id;
         probe t j
       end
+      else suspect_and_revalidate t j
     end
   end
 
-(* a direct message from [id] is proof of liveness: resolve suspicion *)
-and note_alive t id =
+(* negative caching with active revalidation: when the quarantine
+   expires, re-verify the peer ourselves instead of waiting for gossip
+   to name it (which may never happen once every neighbour evicted it).
+   A successful probe re-admits via the normal [handle_ls_probe] path;
+   an exhausted one relapses with doubled backoff. Once the backoff is
+   maxed out, only peers that would still matter to the leaf set keep
+   being revalidated — confirmed-dead strangers stay quarantined
+   passively. *)
+and suspect_and_revalidate t (j : Peer.t) =
+  suspect_peer t j;
+  match Hashtbl.find_opt t.suspicion j.Peer.id with
+  | None -> ()
+  | Some s ->
+      let expiry = s.s_until in
+      ignore
+        (t.env.schedule ~delay:(s.s_backoff +. 0.01) (fun () ->
+             if t.alive then revalidate_suspect t j ~expiry))
+
+and revalidate_suspect t (j : Peer.t) ~expiry =
+  match Hashtbl.find_opt t.suspicion j.Peer.id with
+  | Some s
+    when Float.equal s.s_until expiry
+         && (s.s_backoff < t.cfg.suspicion_backoff_max
+             || Leafset.would_admit t.leafset j.Peer.id) ->
+      (* the [failed] entry would gate the probe; this IS the retry *)
+      Hashtbl.remove t.failed j.Peer.id;
+      probe t j
+  | Some _ | None -> ()
+
+(* a direct message from [sender] is proof of liveness: resolve suspicion *)
+and note_alive t (sender : Peer.t) =
+  let id = sender.Peer.id in
   Hashtbl.replace t.last_heard id (now t);
   Hashtbl.remove t.excluded id;
   Hashtbl.remove t.failed id;
+  (if Hashtbl.mem t.suspicion id then begin
+     Hashtbl.remove t.suspicion id;
+     if traced t then
+       emit_ev t
+         (Obs.Event.Unsuspected { addr = t.me.Peer.addr; target = sender.Peer.addr })
+   end);
   match Hashtbl.find_opt t.rt_probes id with
   | Some st ->
       cancel_timer t st.p_timer;
@@ -615,7 +731,8 @@ and receive_root t payload ~key ~reroutes =
         let sides_ok =
           Leafset.left_size t.leafset = 0 = (Leafset.right_size t.leafset = 0)
         in
-        if t.active && sides_ok then t.env.deliver l else push_buffer t payload ~key
+        if t.active && sides_ok then deliver_at_root t l
+        else push_buffer t payload ~key
       end
   | M.Join_request { joiner; rows } ->
       if Nodeid.equal joiner.Peer.id t.me.Peer.id then ()
@@ -626,6 +743,21 @@ and receive_root t payload ~key ~reroutes =
       end
       else push_buffer t payload ~key
   | _ -> ()
+
+(* deliver a lookup we are the root for. With end-to-end retries on, the
+   root also suppresses duplicate deliveries (per-hop retransmissions
+   after a lost ack, and the origin's own e2e re-issues, both produce
+   copies) and returns a delivery receipt so the origin can stand down. *)
+and deliver_at_root t (l : M.lookup) =
+  if t.cfg.e2e_lookup_retries > 0 then begin
+    let k = (l.M.origin.Peer.addr, l.M.seq) in
+    if not (Hashtbl.mem t.delivered_seqs k) then begin
+      Hashtbl.replace t.delivered_seqs k ();
+      t.env.deliver l
+    end;
+    if l.M.reliable then send_msg t l.M.origin (M.Lookup_ack { seq = l.M.seq })
+  end
+  else t.env.deliver l
 
 and own_rows_from t r0 =
   let rows = Routing_table.rows t.table in
@@ -919,12 +1051,13 @@ and send_join_request t seed =
 and handle t ~src:_ (msg : M.t) =
   if t.alive then begin
     let sender = msg.M.sender in
-    note_alive t sender.Peer.id;
+    note_alive t sender;
     (match msg.M.hop with
     | Some hop_id -> send_msg t sender (M.Hop_ack { hop_id })
     | None -> ());
     match msg.M.payload with
     | M.Lookup l -> route_payload ~prev:sender t (M.Lookup l) ~key:l.M.key ~reroutes:0
+    | M.Lookup_ack { seq } -> handle_lookup_ack t seq
     | M.Hop_ack { hop_id } -> handle_hop_ack t hop_id
     | M.Join_request { joiner; rows } -> handle_join_request t ~sender ~joiner ~rows
     | M.Join_reply { rows; leaf } -> handle_join_reply t ~rows ~leaf
@@ -1144,7 +1277,67 @@ and lookup ?(reliable = true) t ~key ~seq =
   let payload =
     M.Lookup { key; seq; origin = t.me; hops = 0; retx = false; reliable }
   in
+  if reliable && t.cfg.e2e_lookup_retries > 0 then install_e2e t ~key ~seq;
   route_payload t payload ~key ~reroutes:0
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end lookup retries at the origin                              *)
+(* ------------------------------------------------------------------ *)
+
+(* first timeout: twice the expected route time under the initial
+   per-hop RTO, from the leaf-set density estimate of N (the same
+   estimator the self-tuning uses) — deterministic, no RTT history *)
+and install_e2e t ~key ~seq =
+  let cols = float_of_int (1 lsl t.cfg.b) in
+  let hops_est =
+    1.0 +. (Float.log (Float.max cols (estimated_n t)) /. Float.log cols)
+  in
+  let timeout =
+    Float.max t.cfg.e2e_timeout_min (2.0 *. hops_est *. t.cfg.hop_rto_initial)
+  in
+  let st = { e_key = key; e_attempt = 0; e_timeout = timeout; e_timer = None } in
+  Hashtbl.replace t.e2e seq st;
+  arm_e2e t seq st
+
+and arm_e2e t seq st =
+  st.e_timer <-
+    Some
+      (t.env.schedule ~delay:st.e_timeout (fun () ->
+           if t.alive then e2e_timeout t seq))
+
+and e2e_timeout t seq =
+  match Hashtbl.find_opt t.e2e seq with
+  | None -> ()
+  | Some st ->
+      if st.e_attempt >= t.cfg.e2e_lookup_retries then Hashtbl.remove t.e2e seq
+      else begin
+        st.e_attempt <- st.e_attempt + 1;
+        st.e_timeout <- 2.0 *. st.e_timeout;
+        if traced t then
+          emit_ev t
+            (Obs.Event.Lookup_retry
+               { seq; addr = t.me.Peer.addr; attempt = st.e_attempt });
+        let payload =
+          M.Lookup
+            {
+              key = st.e_key;
+              seq;
+              origin = t.me;
+              hops = 0;
+              retx = true;
+              reliable = true;
+            }
+        in
+        arm_e2e t seq st;
+        route_payload t payload ~key:st.e_key ~reroutes:0
+      end
+
+and handle_lookup_ack t seq =
+  match Hashtbl.find_opt t.e2e seq with
+  | None -> ()
+  | Some st ->
+      cancel_timer t st.e_timer;
+      Hashtbl.remove t.e2e seq
 
 let crash t =
   if t.alive && traced t then emit_ev t (Obs.Event.Node_crash { addr = t.me.Peer.addr });

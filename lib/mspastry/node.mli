@@ -94,3 +94,21 @@ val failed_set : t -> Nodeid.t list
 
 val pending_probes : t -> int
 val pending_hops : t -> int
+
+val suspected_set : t -> Nodeid.t list
+(** Peers currently quarantined by the suspicion list (negative
+    caching): probe retries were exhausted on them, and until the
+    per-peer backoff expires they are excluded from routing and cannot
+    be re-admitted or re-probed from gossip. Expired entries are not
+    listed (the doubled backoff is remembered internally). *)
+
+val pending_e2e : t -> int
+(** Lookups this origin is still waiting on end-to-end (receipts
+    outstanding, retries possibly pending). Always 0 when
+    [e2e_lookup_retries = 0]. *)
+
+val set_on_suspicion : t -> (target:int -> unit) -> unit
+(** Install an observer called with the target's overlay address each
+    time this node's failure detector (newly or again) quarantines a
+    peer — the harness uses it to score detector accuracy against ground
+    truth. At most one observer; later calls replace earlier ones. *)

@@ -1,6 +1,7 @@
 module Rng = Repro_util.Rng
 module Obs = Repro_obs
 module Netfault = Repro_faults.Netfault
+module Nodefault = Repro_faults.Nodefault
 
 type stats = {
   sent : int;
@@ -8,6 +9,7 @@ type stats = {
   dropped_loss : int;
   dropped_dead : int;
   dropped_fault : int;
+  dropped_node : int;
   sent_by_class : (string * int) list;
 }
 
@@ -21,12 +23,14 @@ type 'm t = {
   handlers : (int, src:int -> 'm -> unit) Hashtbl.t;
   mutable loss_rate : float;
   mutable fault : Netfault.t option;
+  mutable node_fault : Nodefault.t option;
   mutable taps : (time:float -> src:int -> dst:int -> 'm -> unit) list;
   mutable n_sent : int;
   mutable n_delivered : int;
   mutable n_dropped_loss : int;
   mutable n_dropped_dead : int;
   mutable n_dropped_fault : int;
+  mutable n_dropped_node : int;
   by_class : (string, int ref) Hashtbl.t;
   mutable trace : Obs.Trace.t;
 }
@@ -45,12 +49,14 @@ let create ?(loss_rate = 0.0) ?(endpoint_of = fun a -> a)
     handlers = Hashtbl.create 256;
     loss_rate;
     fault = None;
+    node_fault = None;
     taps = [];
     n_sent = 0;
     n_delivered = 0;
     n_dropped_loss = 0;
     n_dropped_dead = 0;
     n_dropped_fault = 0;
+    n_dropped_node = 0;
     by_class = Hashtbl.create 16;
     trace;
   }
@@ -65,6 +71,8 @@ let set_loss_rate t r =
 let loss_rate t = t.loss_rate
 let set_fault_model t fault = t.fault <- fault
 let fault_model t = t.fault
+let set_node_fault_model t fault = t.node_fault <- fault
+let node_fault_model t = t.node_fault
 let set_trace t trace = t.trace <- trace
 
 let register t ~addr handler = Hashtbl.replace t.handlers addr handler
@@ -116,63 +124,92 @@ let send t ~src ~dst msg =
           Netfault.Lose
         else Netfault.Pass
   in
+  let emit_drop ~time reason =
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.emit t.trace
+        {
+          Obs.Event.time;
+          body = Obs.Event.Drop { src; dst; cls; seq = t.seq_of msg; reason };
+        }
+  in
   match verdict with
   | Netfault.Lose ->
       (match t.fault with
       | Some _ -> t.n_dropped_fault <- t.n_dropped_fault + 1
       | None -> t.n_dropped_loss <- t.n_dropped_loss + 1);
-      if traced then
-        Obs.Trace.emit t.trace
-          {
-            Obs.Event.time = now;
-            body =
-              Obs.Event.Drop
-                {
-                  src;
-                  dst;
-                  cls;
-                  seq = t.seq_of msg;
-                  reason =
-                    (match t.fault with
-                    | Some _ -> Obs.Event.Faulted
-                    | None -> Obs.Event.Loss);
-                };
-          }
-  | Netfault.Pass | Netfault.Delay _ ->
-    let extra = match verdict with Netfault.Delay d -> d | _ -> 0.0 in
-    let d = delay t src dst +. extra in
-    ignore
-      (Simkit.Engine.schedule t.engine ~delay:d (fun () ->
-           match Hashtbl.find_opt t.handlers dst with
-           | Some handler ->
-               t.n_delivered <- t.n_delivered + 1;
-               if Obs.Trace.enabled t.trace then
-                 Obs.Trace.emit t.trace
-                   {
-                     Obs.Event.time = Simkit.Engine.now t.engine;
-                     body = Obs.Event.Recv { src; dst; cls };
-                   };
-               handler ~src msg
-           | None ->
-               t.n_dropped_dead <- t.n_dropped_dead + 1;
-               if Obs.Trace.enabled t.trace then
-                 Obs.Trace.emit t.trace
-                   {
-                     Obs.Event.time = Simkit.Engine.now t.engine;
-                     body =
-                       Obs.Event.Drop
-                         {
-                           src;
-                           dst;
-                           cls;
-                           seq = t.seq_of msg;
-                           reason = Obs.Event.Dead_destination;
-                         };
-                   }))
+      emit_drop ~time:now
+        (match t.fault with
+        | Some _ -> Obs.Event.Faulted
+        | None -> Obs.Event.Loss)
+  | Netfault.Pass | Netfault.Delay _ -> (
+      let link_extra = match verdict with Netfault.Delay d -> d | _ -> 0.0 in
+      (* node faults see overlay addresses: the sender's verdict rules
+         now; the receiver's slowdown is priced in now but its mute is
+         re-judged at delivery time (a flapping node that recovers
+         mid-flight still gets the message, like a rebooting host) *)
+      let sender_verdict, recv_slow =
+        match t.node_fault with
+        | None -> (Nodefault.Pass, Nodefault.Pass)
+        | Some nf ->
+            ( Nodefault.decide nf ~time:now ~dir:Nodefault.Send ~addr:src,
+              match Nodefault.decide nf ~time:now ~dir:Nodefault.Recv ~addr:dst with
+              | Nodefault.Slow _ as s -> s
+              | _ -> Nodefault.Pass )
+      in
+      match sender_verdict with
+      | Nodefault.Mute ->
+          t.n_dropped_node <- t.n_dropped_node + 1;
+          emit_drop ~time:now Obs.Event.Node_fault
+      | Nodefault.Pass | Nodefault.Slow _ ->
+          let factor, node_extra =
+            let of_verdict = function
+              | Nodefault.Slow { factor; extra } -> (factor, extra)
+              | Nodefault.Pass | Nodefault.Mute -> (1.0, 0.0)
+            in
+            let fs, es = of_verdict sender_verdict in
+            let fr, er = of_verdict recv_slow in
+            (fs *. fr, es +. er)
+          in
+          let d = (delay t src dst *. factor) +. node_extra +. link_extra in
+          ignore
+            (Simkit.Engine.schedule t.engine ~delay:d (fun () ->
+                 let recv_mute =
+                   match t.node_fault with
+                   | None -> false
+                   | Some nf -> (
+                       match
+                         Nodefault.decide nf
+                           ~time:(Simkit.Engine.now t.engine)
+                           ~dir:Nodefault.Recv ~addr:dst
+                       with
+                       | Nodefault.Mute -> true
+                       | Nodefault.Pass | Nodefault.Slow _ -> false)
+                 in
+                 if recv_mute then begin
+                   t.n_dropped_node <- t.n_dropped_node + 1;
+                   emit_drop ~time:(Simkit.Engine.now t.engine)
+                     Obs.Event.Node_fault
+                 end
+                 else
+                   match Hashtbl.find_opt t.handlers dst with
+                   | Some handler ->
+                       t.n_delivered <- t.n_delivered + 1;
+                       if Obs.Trace.enabled t.trace then
+                         Obs.Trace.emit t.trace
+                           {
+                             Obs.Event.time = Simkit.Engine.now t.engine;
+                             body = Obs.Event.Recv { src; dst; cls };
+                           };
+                       handler ~src msg
+                   | None ->
+                       t.n_dropped_dead <- t.n_dropped_dead + 1;
+                       emit_drop ~time:(Simkit.Engine.now t.engine)
+                         Obs.Event.Dead_destination)))
 
 let n_sent t = t.n_sent
 let n_delivered t = t.n_delivered
-let n_dropped t = t.n_dropped_loss + t.n_dropped_dead + t.n_dropped_fault
+let n_dropped t =
+  t.n_dropped_loss + t.n_dropped_dead + t.n_dropped_fault + t.n_dropped_node
 
 let sent_in_class t cls =
   match Hashtbl.find_opt t.by_class cls with Some r -> !r | None -> 0
@@ -184,6 +221,7 @@ let stats t =
     dropped_loss = t.n_dropped_loss;
     dropped_dead = t.n_dropped_dead;
     dropped_fault = t.n_dropped_fault;
+    dropped_node = t.n_dropped_node;
     sent_by_class =
       Hashtbl.fold (fun cls r acc -> (cls, !r) :: acc) t.by_class []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);

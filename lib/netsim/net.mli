@@ -27,6 +27,9 @@ type stats = {
   dropped_loss : int;  (** dropped by the uniform loss injection at send time *)
   dropped_dead : int;  (** destination unregistered at delivery time *)
   dropped_fault : int;  (** dropped by an installed fault model at send time *)
+  dropped_node : int;
+      (** swallowed by a per-node fault: a fail-silent/flapping sender at
+          send time, or a flapping receiver down at delivery time *)
   sent_by_class : (string * int) list;
 }
 
@@ -67,6 +70,19 @@ val set_fault_model : 'm t -> Repro_faults.Netfault.t option -> unit
     delay. [None] restores the uniform [loss_rate] process. *)
 
 val fault_model : 'm t -> Repro_faults.Netfault.t option
+
+val set_node_fault_model : 'm t -> Repro_faults.Nodefault.t option -> unit
+(** [set_node_fault_model t (Some f)] installs a per-node fault model
+    next to (not instead of) the link-level one. Every send that survives
+    the link verdict consults [f] twice, with {e overlay addresses}: the
+    sender's verdict applies at send time (a mute sender's message is
+    counted [dropped_node] and traced with reason [Node_fault]; a slow
+    sender's factor/extra stretch the delivery delay), the receiver's
+    slowdown is priced in at send time, and the receiver's mute is
+    re-judged at {e delivery} time so a flapping node that recovers while
+    the message is in flight still gets it. [None] removes the model. *)
+
+val node_fault_model : 'm t -> Repro_faults.Nodefault.t option
 
 val set_trace : 'm t -> Repro_obs.Trace.t -> unit
 

@@ -1,5 +1,5 @@
 type stage = Leafset | Table | Closest
-type drop_reason = Loss | Dead_destination | Faulted
+type drop_reason = Loss | Dead_destination | Faulted | Node_fault
 
 type body =
   | Send of { src : int; dst : int; cls : string; seq : int option }
@@ -20,6 +20,9 @@ type body =
   | Ack_timeout of { addr : int; dst : int; waited : float; reroutes : int }
   | Probe of { addr : int; target : int; kind : string }
   | Fault of { label : string; action : string }
+  | Suspected of { addr : int; target : int; backoff : float }
+  | Unsuspected of { addr : int; target : int }
+  | Lookup_retry of { seq : int; addr : int; attempt : int }
 
 type t = { time : float; body : body }
 
@@ -35,11 +38,13 @@ let drop_reason_name = function
   | Loss -> "loss"
   | Dead_destination -> "dead-dst"
   | Faulted -> "fault"
+  | Node_fault -> "node-fault"
 
 let drop_reason_of_name = function
   | "loss" -> Some Loss
   | "dead-dst" -> Some Dead_destination
   | "fault" -> Some Faulted
+  | "node-fault" -> Some Node_fault
   | _ -> None
 
 let kind_name t =
@@ -56,6 +61,9 @@ let kind_name t =
   | Ack_timeout _ -> "ack-timeout"
   | Probe _ -> "probe"
   | Fault _ -> "fault"
+  | Suspected _ -> "suspected"
+  | Unsuspected _ -> "unsuspected"
+  | Lookup_retry _ -> "lookup-retry"
 
 let seq_field = function None -> [] | Some s -> [ ("seq", Json.Int s) ]
 
@@ -98,6 +106,16 @@ let to_json t =
         [ ("addr", Json.Int addr); ("target", Json.Int target); ("kind", Json.String kind) ]
     | Fault { label; action } ->
         [ ("label", Json.String label); ("action", Json.String action) ]
+    | Suspected { addr; target; backoff } ->
+        [
+          ("addr", Json.Int addr);
+          ("target", Json.Int target);
+          ("backoff", Json.Float backoff);
+        ]
+    | Unsuspected { addr; target } ->
+        [ ("addr", Json.Int addr); ("target", Json.Int target) ]
+    | Lookup_retry { seq; addr; attempt } ->
+        [ ("seq", Json.Int seq); ("addr", Json.Int addr); ("attempt", Json.Int attempt) ]
   in
   Json.Obj
     (("t", Json.Float t.time) :: ("ev", Json.String (kind_name t)) :: fields)
@@ -164,6 +182,20 @@ let of_json j =
         let* label = str "label" in
         let* action = str "action" in
         Ok (Fault { label; action })
+    | "suspected" ->
+        let* addr = int "addr" in
+        let* target = int "target" in
+        let* backoff = flt "backoff" in
+        Ok (Suspected { addr; target; backoff })
+    | "unsuspected" ->
+        let* addr = int "addr" in
+        let* target = int "target" in
+        Ok (Unsuspected { addr; target })
+    | "lookup-retry" ->
+        let* seq = int "seq" in
+        let* addr = int "addr" in
+        let* attempt = int "attempt" in
+        Ok (Lookup_retry { seq; addr; attempt })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
   match body with Ok body -> Ok { time; body } | Error _ as e -> e

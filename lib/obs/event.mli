@@ -19,6 +19,7 @@ type drop_reason =
   | Loss  (** dropped by the uniform loss injection *)
   | Dead_destination  (** destination unregistered (crashed) by delivery time *)
   | Faulted  (** dropped by an installed fault model (burst, blackhole, partition) *)
+  | Node_fault  (** swallowed by a per-node fault (fail-silent or flapping) *)
 
 type body =
   | Send of { src : int; dst : int; cls : string; seq : int option }
@@ -49,6 +50,14 @@ type body =
       (** a scheduled fault was injected (or healed): [label] names the
           episode, [action] describes what happened (e.g.
           "crash 25% (30 nodes)", "partition 2 ways", "heal") *)
+  | Suspected of { addr : int; target : int; backoff : float }
+      (** [addr]'s failure detector quarantined [target] for [backoff]
+          seconds after it exhausted probe retries *)
+  | Unsuspected of { addr : int; target : int }
+      (** [addr] heard directly from suspected [target] and cleared it *)
+  | Lookup_retry of { seq : int; addr : int; attempt : int }
+      (** origin [addr] re-issued lookup [seq] end-to-end ([attempt] ≥ 1
+          counts re-issues) after its e2e timeout expired undelivered *)
 
 type t = { time : float; body : body }
 

@@ -4,6 +4,7 @@ let () =
    @ Test_engine.suite @ Test_nodeid.suite @ Test_leafset.suite
    @ Test_routing_table.suite @ Test_node.suite @ Test_message.suite @ Test_route.suite @ Test_rto.suite @ Test_tuning.suite
    @ Test_topology.suite @ Test_trace.suite @ Test_netsim.suite @ Test_faults.suite
+   @ Test_nodefaults.suite
    @ Test_oracle.suite
    @ Test_obs.suite @ Test_collector.suite @ Test_harness.suite @ Test_integration.suite @ Test_squirrel.suite
    @ Test_scribe.suite @ Test_past.suite)
