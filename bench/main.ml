@@ -116,6 +116,43 @@ let bench_node_fault =
          ignore (NF.decide model ~time:t ~dir:NF.Send ~addr:(!i land 127));
          ignore (NF.decide model ~time:t ~dir:NF.Recv ~addr:((!i + 1) land 127))))
 
+(* the per-message queue model on netsim's hot send path: compare the
+   capacity-off baseline against a saturating capacity-on run *)
+
+let make_cap_net capacity =
+  let engine = Simkit.Engine.create () in
+  let net =
+    Netsim.Net.create
+      ~priority_of:(fun m -> if m land 1 = 1 then 1 else 0)
+      ?capacity ~engine
+      ~topology:(Topology.constant ~n_endpoints:64 ~delay:0.01)
+      ~rng:(Repro_util.Rng.create 23) ()
+  in
+  for a = 0 to 63 do
+    Netsim.Net.register net ~addr:a (fun ~src:_ _ -> ())
+  done;
+  (engine, net)
+
+let bench_send_no_capacity =
+  let engine, net = make_cap_net None in
+  let i = ref 0 in
+  Test.make ~name:"netsim: send, capacity off"
+    (Staged.stage (fun () ->
+         incr i;
+         Netsim.Net.send net ~src:(!i land 63) ~dst:((!i + 7) land 63) !i;
+         if !i land 1023 = 0 then Simkit.Engine.run_all engine))
+
+let bench_send_capacity =
+  let engine, net =
+    make_cap_net (Some { Netsim.Net.service_rate = 100.0; queue_limit = 32 })
+  in
+  let i = ref 0 in
+  Test.make ~name:"netsim: send, capacity on (queued)"
+    (Staged.stage (fun () ->
+         incr i;
+         Netsim.Net.send net ~src:(!i land 63) ~dst:((!i + 7) land 63) !i;
+         if !i land 1023 = 0 then Simkit.Engine.run_all engine))
+
 let run_micro () =
   let tests =
     [
@@ -128,6 +165,8 @@ let run_micro () =
       bench_tuning_solver;
       bench_ge_verdict;
       bench_node_fault;
+      bench_send_no_capacity;
+      bench_send_capacity;
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -230,7 +269,7 @@ let () =
   let run_one = function
     | "micro" ->
         let micro = run_micro () in
-        if json then write_json "BENCH_pr3.json" micro
+        if json then write_json "BENCH_pr5.json" micro
     | "fig3" -> E.fig3 ~size ~seed ()
     | "fig4" -> E.fig4 ~size ~seed ()
     | "fig5" -> E.fig5 ~size ~seed ()
@@ -250,6 +289,6 @@ let () =
   match names with
   | [] ->
       let micro = run_micro () in
-      if json then write_json "BENCH_pr3.json" micro;
+      if json then write_json "BENCH_pr5.json" micro;
       E.all ~size ~seed ()
   | names -> List.iter run_one names

@@ -27,6 +27,9 @@ let runners =
     ("bursty-loss", E.bursty_loss);
     ("fail-slow", E.fail_slow);
     ("bursty-retries", E.bursty_retries);
+    ("congestion", E.congestion);
+    ("flash-crowd", E.flash_crowd);
+    ("congestion-smoke", E.congestion_smoke);
     ("smoke", E.smoke);
     ("all", E.all);
   ]

@@ -711,6 +711,223 @@ let bursty_retries ?(size = Quick) ~seed () =
       (Printf.sprintf "bursty-%g" burst, bursty, 8, 3);
     ]
 
+(* ------------------------------------------------------------------ *)
+
+(* E-congestion: a lookup storm against bounded per-node capacity. The
+   naive overlay (FIFO queues, no backpressure) collapses: control
+   messages drown with the lookups, acks and heartbeats are lost, the
+   failure detector manufactures suspicions and the repair traffic feeds
+   back into the queues. The graceful overlay (control prioritised,
+   probe/join backpressure) sheds deferrable work and keeps the ring
+   intact, so service recovers as soon as the storm passes. *)
+
+let congestion_variants =
+  [
+    ("uncapped", None, false, false);
+    ("naive", Some true, false, false);
+    ("graceful", Some true, true, true);
+  ]
+
+let congestion_capacity = { Netsim.Net.service_rate = 6.0; queue_limit = 24 }
+
+let congestion ?(size = Quick) ~seed () =
+  header "E-congestion: lookup storm, collapse vs graceful degradation";
+  let warmup = warmup_for size in
+  let storm_rate, storm_len =
+    match size with
+    | Quick -> (1.0, 1200.0)
+    | Medium -> (1.0, 1800.0)
+    | Full -> (2.0, 3600.0)
+  in
+  let t_storm = warmup +. 600.0 in
+  let duration = t_storm +. storm_len +. 1800.0 in
+  Printf.printf
+    "capacity %.0f msg/s/node, queue %d; +%.1f lookups/s/node for %.0fs at t=%.0fs\n"
+    congestion_capacity.Netsim.Net.service_rate
+    congestion_capacity.Netsim.Net.queue_limit storm_rate storm_len t_storm;
+  Printf.printf "%-10s %9s %9s %9s %10s %9s %9s %10s %9s\n" "variant"
+    "storm-ok" "after-ok" "control" "q-p50(s)" "q-p99(s)" "cong-drop"
+    "collapse-w" "ring";
+  List.iter
+    (fun (name, cap, prioritize, backpressure) ->
+      let trace =
+        Trace.gnutella ~scale:(gnutella_scale size) ~duration
+          (Rng.create (seed + 1000))
+      in
+      let config =
+        {
+          (base_config size ~seed) with
+          Sim.capacity = (match cap with Some _ -> Some congestion_capacity | None -> None);
+          prioritize_control = prioritize;
+          pastry =
+            {
+              (base_config size ~seed).Sim.pastry with
+              Mspastry.Config.backpressure;
+            };
+          fault_schedule =
+            [
+              Schedule.lookup_storm ~label:"storm" ~time:t_storm
+                ~duration:storm_len storm_rate;
+            ];
+        }
+      in
+      let live = Sim.live_of_trace config ~trace in
+      Sim.Live.run_until live (duration +. config.Sim.drain);
+      Sim.Live.close live;
+      let c = Sim.Live.collector live in
+      let s_storm =
+        Collector.summary ~since:t_storm ~until:(t_storm +. storm_len) c
+      in
+      let s_after =
+        Collector.summary ~since:(t_storm +. storm_len) ~until:duration c
+      in
+      let qd = Collector.queue_delays ~since:t_storm ~until:duration c in
+      let pct p = if Array.length qd = 0 then 0.0 else Repro_util.Stats.percentile qd p in
+      let n = Netsim.Net.stats (Sim.Live.net live) in
+      let collapse = List.length (Collector.collapse_windows c) in
+      let audit = Sim.Live.ring_audit live in
+      Printf.printf "%-10s %9.4f %9.4f %9.3f %10.4f %9.4f %9d %10d %9.3f\n%!"
+        name s_storm.Collector.success_rate s_after.Collector.success_rate
+        s_storm.Collector.control_per_node_per_s (pct 50.0) (pct 99.0)
+        n.Netsim.Net.dropped_congestion collapse audit.Harness.Oracle.agreement)
+    congestion_variants
+
+(* E-flashcrowd: a mass-join flash crowd against a small steady overlay
+   with bounded capacity. Join traffic converges on the few live nodes;
+   without admission control it evicts lookups and acks from their
+   queues. The graceful overlay defers join service and collapses probe
+   volleys while overloaded, trading join latency for lookup goodput. *)
+let flash_crowd ?(size = Quick) ~seed () =
+  header "E-flashcrowd: mass-join flash crowd, admission control on vs off";
+  let n_avg, joiners, over =
+    match size with
+    | Quick -> (60, 300, 600.0)
+    | Medium -> (150, 750, 600.0)
+    | Full -> (400, 2000, 1200.0)
+  in
+  let warmup = 1800.0 in
+  let t_crowd = warmup +. 600.0 in
+  let crowd_window = 1500.0 in
+  let duration = t_crowd +. crowd_window +. 1200.0 in
+  (* queue depth / service rate = 4 s of queueing when saturated — past
+     the 3 s hop-RTO ceiling, so a FIFO overlay under sustained overload
+     sees even delivered acks as timeouts (the collapse feedback loop);
+     prioritised control keeps ack delay well under the RTO instead *)
+  let cap = { Netsim.Net.service_rate = 6.0; queue_limit = 24 } in
+  Printf.printf
+    "steady %d nodes, %d joiners over %.0fs at t=%.0fs; capacity %.0f msg/s, queue %d\n"
+    n_avg joiners over t_crowd cap.Netsim.Net.service_rate
+    cap.Netsim.Net.queue_limit;
+  Printf.printf "%-10s %9s %9s %8s %9s %9s %9s %10s %9s\n" "variant"
+    "crowd-ok" "after-ok" "joins" "join-fail" "control" "q-p99(s)"
+    "cong-drop" "ring";
+  let results =
+    List.map
+      (fun (name, prioritize, backpressure) ->
+        let trace =
+          Trace.poisson
+            (Rng.create (seed + 5000))
+            ~n_avg ~session_mean:(hours 4.0) ~duration
+        in
+        let config =
+          {
+            (base_config size ~seed) with
+            Sim.lookup_rate = 0.1;
+            warmup;
+            window = 300.0;
+            capacity = Some cap;
+            prioritize_control = prioritize;
+            pastry =
+              {
+                (base_config size ~seed).Sim.pastry with
+                Mspastry.Config.backpressure;
+              };
+            fault_schedule =
+              [ Schedule.flash_crowd ~label:"crowd" ~time:t_crowd ~over joiners ];
+          }
+        in
+        let live = Sim.live_of_trace config ~trace in
+        Sim.Live.run_until live (duration +. config.Sim.drain);
+        Sim.Live.close live;
+        let c = Sim.Live.collector live in
+        let s_crowd =
+          Collector.summary ~since:t_crowd ~until:(t_crowd +. crowd_window) c
+        in
+        let s_after =
+          Collector.summary ~since:(t_crowd +. crowd_window) ~until:duration c
+        in
+        let qd = Collector.queue_delays ~since:t_crowd ~until:duration c in
+        let p99 =
+          if Array.length qd = 0 then 0.0 else Repro_util.Stats.percentile qd 99.0
+        in
+        let n = Netsim.Net.stats (Sim.Live.net live) in
+        let audit = Sim.Live.ring_audit live in
+        Printf.printf "%-10s %9.4f %9.4f %8d %9d %9.3f %9.4f %10d %9.3f\n%!"
+          name s_crowd.Collector.success_rate s_after.Collector.success_rate
+          s_crowd.Collector.joins (Sim.Live.join_failures live)
+          s_crowd.Collector.control_per_node_per_s p99
+          n.Netsim.Net.dropped_congestion audit.Harness.Oracle.agreement;
+        (name, s_crowd.Collector.success_rate))
+      [ ("naive", false, false); ("graceful", true, true) ]
+  in
+  match (List.assoc_opt "naive" results, List.assoc_opt "graceful" results) with
+  | Some naive, Some graceful when naive > 0.0 ->
+      Printf.printf "graceful/naive success ratio during crowd: %.2fx\n%!"
+        (graceful /. naive)
+  | _ -> ()
+
+(* CI smoke for the congestion path: fixed cost, fails loudly if the
+   capacity model, the queue taps or the backpressure signal stayed
+   cold. *)
+let congestion_smoke ?size:_ ~seed () =
+  header "congestion-smoke: capacity model, queue taps and backpressure (CI)";
+  let duration = 2400.0 and warmup = 600.0 in
+  let run ~capacity ~prioritize ~backpressure =
+    let trace = Trace.gnutella ~scale:0.02 ~duration (Rng.create (seed + 1000)) in
+    let config =
+      {
+        Sim.default_config with
+        seed;
+        warmup;
+        window = 300.0;
+        capacity;
+        prioritize_control = prioritize;
+        pastry =
+          { Sim.default_config.Sim.pastry with Mspastry.Config.backpressure };
+        fault_schedule =
+          [
+            Schedule.lookup_storm ~label:"smoke-storm" ~time:900.0
+              ~duration:900.0 2.0;
+          ];
+      }
+    in
+    let live = Sim.live_of_trace config ~trace in
+    Sim.Live.run_until live (duration +. config.Sim.drain);
+    Sim.Live.close live;
+    live
+  in
+  let cap = Some { Netsim.Net.service_rate = 4.0; queue_limit = 8 } in
+  let naive = run ~capacity:cap ~prioritize:false ~backpressure:false in
+  let graceful = run ~capacity:cap ~prioritize:true ~backpressure:true in
+  let off = run ~capacity:None ~prioritize:true ~backpressure:false in
+  let drops l = (Netsim.Net.stats (Sim.Live.net l)).Netsim.Net.dropped_congestion in
+  let samples l =
+    Array.length (Collector.queue_delays (Sim.Live.collector l))
+  in
+  Printf.printf
+    "naive: %d congestion drops, %d queue samples; graceful: %d drops; off: %d drops\n%!"
+    (drops naive) (samples naive) (drops graceful) (drops off);
+  if drops naive = 0 then failwith "congestion-smoke: capacity model never dropped";
+  if samples naive = 0 then failwith "congestion-smoke: queue taps never fired";
+  if drops off <> 0 then failwith "congestion-smoke: drops with the model off";
+  if samples off <> 0 then failwith "congestion-smoke: queue samples with the model off";
+  let audit = Sim.Live.ring_audit graceful in
+  Printf.printf "graceful ring agreement: %.3f (%d audited)\n%!"
+    audit.Harness.Oracle.agreement audit.Harness.Oracle.audited;
+  print_endline "congestion-smoke ok"
+
+(* ------------------------------------------------------------------ *)
+
 (* CI smoke: a tiny fixed-cost end-to-end run that exercises node-fault
    injection, the suspicion list and end-to-end retries in a few seconds
    of wall time. [size] is accepted for CLI uniformity but ignored. *)
@@ -764,5 +981,7 @@ let all ?(size = Quick) ~seed () =
   bursty_loss ~size ~seed ();
   fail_slow ~size ~seed ();
   bursty_retries ~size ~seed ();
+  congestion ~size ~seed ();
+  flash_crowd ~size ~seed ();
   apps ~size ~seed ();
   fig8 ~size ~seed ()

@@ -89,6 +89,25 @@ val bursty_retries : ?size:size -> seed:int -> unit -> unit
     loss, with and without retries. The acceptance bar is ≥ 99% of
     judged lookups correctly delivered with retries on. *)
 
+val congestion : ?size:size -> seed:int -> unit -> unit
+(** E-congestion: a lookup storm against bounded per-node capacity
+    (service rate + finite queue). Compares an uncapped control run, the
+    naive overlay (FIFO, no backpressure — congestive collapse) and the
+    graceful one (control prioritised, probe/join backpressure): success
+    rate during and after the storm, queueing-delay percentiles,
+    congestion drops, collapse windows and ring-consistency agreement. *)
+
+val flash_crowd : ?size:size -> seed:int -> unit -> unit
+(** E-flashcrowd: a mass-join flash crowd against a small steady overlay
+    with bounded capacity, admission control off vs on. The acceptance
+    bar is a ≥ 2× lookup success rate during the crowd for the graceful
+    variant. *)
+
+val congestion_smoke : ?size:size -> seed:int -> unit -> unit
+(** Fixed-cost CI run for the congestion path: fails loudly if the
+    capacity model never dropped, the queue taps never fired, or the
+    default-off run recorded any congestion activity. Ignores [size]. *)
+
 val smoke : ?size:size -> seed:int -> unit -> unit
 (** Fixed-cost tiny run for CI: exercises node-fault injection, the
     suspicion list and end-to-end retries, and fails loudly if any of

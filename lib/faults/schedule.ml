@@ -9,6 +9,8 @@ type action =
   | Overlay of { fault : Netfault.t; duration : float }
   | Partition of { groups : int; duration : float }
   | Node_fault of { fraction : float; kind : node_fault_kind; duration : float }
+  | Lookup_storm of { rate : float; duration : float }
+  | Flash_crowd of { joiners : int; over : float }
   | Heal
 
 type event = { time : float; label : string; action : action }
@@ -34,6 +36,10 @@ let describe = function
             Printf.sprintf "flapping %gs/%g%%" period (100.0 *. duty)
       in
       Printf.sprintf "%s %g%% for %gs" kind_s (100.0 *. fraction) duration
+  | Lookup_storm { rate; duration } ->
+      Printf.sprintf "lookup-storm %g/s/node for %gs" rate duration
+  | Flash_crowd { joiners; over } ->
+      Printf.sprintf "flash-crowd %d joiners over %gs" joiners over
   | Heal -> "heal"
 
 let mk ?label ~time action =
@@ -77,6 +83,16 @@ let fail_silent ?label ~time ~duration fraction =
 
 let flapping ?label ~time ~duration ~period ~duty fraction =
   node_fault ?label ~time ~duration ~fraction (Flapping { period; duty })
+
+let lookup_storm ?label ~time ~duration rate =
+  if rate <= 0.0 then invalid_arg "Schedule.lookup_storm: rate";
+  if duration <= 0.0 then invalid_arg "Schedule.lookup_storm: duration";
+  mk ?label ~time (Lookup_storm { rate; duration })
+
+let flash_crowd ?label ~time ~over joiners =
+  if joiners < 1 then invalid_arg "Schedule.flash_crowd: joiners";
+  if over < 0.0 then invalid_arg "Schedule.flash_crowd: over";
+  mk ?label ~time (Flash_crowd { joiners; over })
 
 let heal ?label time = mk ?label ~time Heal
 

@@ -38,6 +38,14 @@ type action =
           drawn from the dedicated fault RNG stream) with a per-node
           fault for [duration] seconds, then lift it ([infinity] = never
           heals) *)
+  | Lookup_storm of { rate : float; duration : float }
+      (** overload injection: every node active at injection time issues
+          an {e additional} [rate] lookups per second (Poisson, on top of
+          the configured workload) for [duration] seconds *)
+  | Flash_crowd of { joiners : int; over : float }
+      (** overload injection: [joiners] fresh nodes start joining the
+          overlay, spread evenly over [over] seconds ([0] = all at the
+          same instant) *)
   | Heal
       (** remove every overlay — link and node — and restore the default
           base model *)
@@ -92,6 +100,15 @@ val flapping :
 (** [flapping ~time ~duration ~period ~duty f] — fraction [f] of the
     active nodes cycle down/up ([duty] ∈ (0, 1) of each [period] spent
     down, starting down at injection) for [duration] seconds. *)
+
+val lookup_storm : ?label:string -> time:float -> duration:float -> float -> event
+(** [lookup_storm ~time ~duration r] — at [time], every active node adds
+    [r] (> 0) lookups/s on top of its configured workload for [duration]
+    (> 0) seconds. *)
+
+val flash_crowd : ?label:string -> time:float -> over:float -> int -> event
+(** [flash_crowd ~time ~over n] — starting at [time], [n] (≥ 1) fresh
+    nodes attempt to join, spread evenly over [over] (≥ 0) seconds. *)
 
 val heal : ?label:string -> float -> event
 (** [heal time] — clear all injected network and node faults at

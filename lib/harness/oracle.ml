@@ -8,6 +8,59 @@ let remove t id = t.members <- Id_map.remove id t.members
 let size t = Id_map.cardinal t.members
 let mem t id = Id_map.mem id t.members
 
+type ring_audit = {
+  audited : int;
+  left_ok : int;
+  right_ok : int;
+  agreement : float;
+}
+
+let ring_audit t ~neighbors =
+  let n = Id_map.cardinal t.members in
+  (* ground-truth ring neighbours with wrap; a singleton ring has none *)
+  let pred id =
+    if n <= 1 then None
+    else
+      match
+        Id_map.find_last_opt (fun i -> Pastry.Nodeid.compare i id < 0) t.members
+      with
+      | Some (i, _) -> Some i
+      | None -> Some (fst (Id_map.max_binding t.members))
+  in
+  let succ id =
+    if n <= 1 then None
+    else
+      match
+        Id_map.find_first_opt (fun i -> Pastry.Nodeid.compare i id > 0) t.members
+      with
+      | Some (i, _) -> Some i
+      | None -> Some (fst (Id_map.min_binding t.members))
+  in
+  let eq a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> Pastry.Nodeid.equal x y
+    | Some _, None | None, Some _ -> false
+  in
+  let audited = ref 0 and left_ok = ref 0 and right_ok = ref 0 in
+  Id_map.iter
+    (fun id addr ->
+      match neighbors addr with
+      | None -> ()
+      | Some (l, r) ->
+          incr audited;
+          if eq l (pred id) then incr left_ok;
+          if eq r (succ id) then incr right_ok)
+    t.members;
+  {
+    audited = !audited;
+    left_ok = !left_ok;
+    right_ok = !right_ok;
+    agreement =
+      (if !audited = 0 then 1.0
+       else float_of_int (!left_ok + !right_ok) /. float_of_int (2 * !audited));
+  }
+
 let closest t key =
   if Id_map.is_empty t.members then None
   else begin

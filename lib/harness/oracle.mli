@@ -15,3 +15,26 @@ val mem : t -> Pastry.Nodeid.t -> bool
 
 val closest : t -> Pastry.Nodeid.t -> (Pastry.Nodeid.t * int) option
 (** The active (id, addr) owning the key; [None] when the set is empty. *)
+
+(** Result of a {!ring_audit}: how many active nodes were audited and how
+    many of their claimed ring neighbours match the oracle's ground
+    truth. [agreement] is [(left_ok + right_ok) / (2 · audited)] ([1.0]
+    when nothing was auditable). *)
+type ring_audit = {
+  audited : int;
+  left_ok : int;
+  right_ok : int;
+  agreement : float;
+}
+
+val ring_audit :
+  t ->
+  neighbors:(int -> (Pastry.Nodeid.t option * Pastry.Nodeid.t option) option) ->
+  ring_audit
+(** [ring_audit t ~neighbors] compares every member's claimed (left,
+    right) ring neighbours — as reported by [neighbors addr], typically a
+    node's leaf set; return [None] to skip a node — against the oracle's
+    sorted ring (with wrap-around; a singleton ring expects [None] on
+    both sides). The paper's routing-consistency property holds when
+    [agreement = 1.0]: each active node agrees with ground truth about
+    its immediate ring neighbours, so every key has exactly one root. *)

@@ -42,6 +42,8 @@ type config = {
   tracing : tracing;
   trace_timers : bool;
   fault_schedule : Schedule.t;
+  capacity : Netsim.Net.capacity option;
+  prioritize_control : bool;
 }
 
 let default_config =
@@ -59,6 +61,8 @@ let default_config =
     tracing = Trace_off;
     trace_timers = false;
     fault_schedule = Schedule.empty;
+    capacity = None;
+    prioritize_control = true;
   }
 
 type result = {
@@ -164,6 +168,8 @@ module Live = struct
         (Netsim.Net.stats t.net).Netsim.Net.dropped_fault);
     Obs.Registry.gauge_i r "net.dropped_node" (fun () ->
         (Netsim.Net.stats t.net).Netsim.Net.dropped_node);
+    Obs.Registry.gauge_i r "net.dropped_congestion" (fun () ->
+        (Netsim.Net.stats t.net).Netsim.Net.dropped_congestion);
     List.iter
       (fun cls ->
         let name = M.class_name cls in
@@ -202,10 +208,16 @@ module Live = struct
         ~classify:(fun m -> M.class_name (M.classify m))
         ~seq_of:(fun m ->
           match m.M.payload with M.Lookup l -> Some l.M.seq | _ -> None)
-        ~trace ~engine ~topology ~rng:rng_net ()
+        ?priority_of:
+          (if config.prioritize_control then
+             Some (fun m -> M.priority (M.classify m))
+           else None)
+        ?capacity:config.capacity ~trace ~engine ~topology ~rng:rng_net ()
     in
     Netsim.Net.on_send net (fun ~time ~src:_ ~dst:_ msg ->
         Collector.record_send collector ~time (M.classify msg));
+    Netsim.Net.on_queue net (fun ~addr:_ ~cls:_ ~delay ->
+        Collector.queue_delay collector ~time:(Simkit.Engine.now engine) delay);
     {
       config;
       engine;
@@ -347,6 +359,9 @@ module Live = struct
               Collector.crash_detected t.collector ~time
                 ~latency:(time -. crashed_at)
           | Some _ | None -> ());
+    (* local load signal for backpressure: the node's own inbound queue
+       occupancy under the capacity model (always 0 when it is off) *)
+    Node.set_load_signal node (fun () -> Netsim.Net.queue_occupancy t.net ~addr);
     node_ref := Some node;
     Hashtbl.replace t.nodes addr node;
     Netsim.Net.register t.net ~addr (fun ~src msg -> Node.handle node ~src msg);
@@ -518,6 +533,36 @@ module Live = struct
                 ~period ~duty ~addrs ()
         in
         add_node_overlay t ~label ~duration fault
+    | Schedule.Lookup_storm { rate; duration } ->
+        (* additive overload: every currently-active node runs an extra
+           Poisson lookup process at [rate] until the storm's end, on top
+           of (and from the same RNG stream as) the configured workload *)
+        let storm_end = Simkit.Engine.now t.engine +. duration in
+        let storm node =
+          let rec loop () =
+            let delay = Rng.exponential t.rng_workload ~mean:(1.0 /. rate) in
+            ignore
+              (Simkit.Engine.schedule t.engine ~delay (fun () ->
+                   if
+                     Node.is_alive node && Node.is_active node
+                     && Simkit.Engine.now t.engine <= storm_end
+                   then begin
+                     let key = Pastry.Nodeid.random t.rng_workload in
+                     ignore (lookup t node ~key);
+                     loop ()
+                   end))
+          in
+          loop ()
+        in
+        List.iter storm (active_nodes t)
+    | Schedule.Flash_crowd { joiners; over } ->
+        let now = Simkit.Engine.now t.engine in
+        let step =
+          if joiners > 1 then over /. float_of_int (joiners - 1) else 0.0
+        in
+        for i = 0 to joiners - 1 do
+          spawn_at t ~time:(now +. (float_of_int i *. step)) ()
+        done
     | Schedule.Heal ->
         t.base_fault <- None;
         t.overlays <- [];
@@ -535,6 +580,19 @@ module Live = struct
                inject t ev)))
       (Schedule.sorted config.fault_schedule);
     t
+
+  let ring_audit t =
+    Oracle.ring_audit t.oracle ~neighbors:(fun addr ->
+        match Hashtbl.find_opt t.nodes addr with
+        | None -> None
+        | Some node ->
+            if not (Node.is_active node) then None
+            else
+              let ls = Node.leafset node in
+              let id_of p = p.Pastry.Peer.id in
+              Some
+                ( Option.map id_of (Pastry.Leafset.left_neighbor ls),
+                  Option.map id_of (Pastry.Leafset.right_neighbor ls) ))
 
   let run_until t time = Simkit.Engine.run t.engine ~until:time
   let close t = Obs.Trace.close t.trace

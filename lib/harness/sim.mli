@@ -46,6 +46,14 @@ type config = {
       (** timed fault injections (mass crashes, partitions, loss-model
           swaps) applied on top of the churn trace; default empty. Each
           event is executed at its timestamp via {!Live.inject}. *)
+  capacity : Netsim.Net.capacity option;
+      (** per-node service capacity (bounded inbound queue); default
+          [None] — infinite capacity, bit-identical to the pre-capacity
+          simulator. See {!Netsim.Net.set_capacity}. *)
+  prioritize_control : bool;
+      (** serve control traffic ahead of lookup forwarding in the
+          capacity model's queues (default [true]; irrelevant while
+          [capacity] is [None]) *)
 }
 
 val default_config : config
@@ -98,10 +106,20 @@ module Live : sig
   val inject : t -> Repro_faults.Schedule.event -> unit
   (** Execute one fault-schedule event {e now}: crash a fraction of
       nodes, swap the base network loss model, overlay a transient fault
-      (partitions heal themselves after their duration), or heal
-      everything. Records the episode with the collector (except [Heal])
-      and emits a [Fault] trace event. [config.fault_schedule] events are
-      applied through this at their timestamps. *)
+      (partitions heal themselves after their duration), start an
+      overload episode (a [Lookup_storm] adds an extra Poisson lookup
+      process per active node for its duration; a [Flash_crowd] spawns
+      its joiners spread over its interval), or heal everything. Records
+      the episode with the collector (except [Heal]) and emits a [Fault]
+      trace event. [config.fault_schedule] events are applied through
+      this at their timestamps. *)
+
+  val ring_audit : t -> Oracle.ring_audit
+  (** Audit routing consistency now: compare every active node's leaf-set
+      ring neighbours against the oracle's ground-truth ring
+      ({!Oracle.ring_audit}). [agreement = 1.0] means every key has
+      exactly one root — call it at the end of (or during) an experiment
+      to check the overlay's consistency invariant. *)
 
   val active_nodes : t -> Mspastry.Node.t list
   val node_count : t -> int

@@ -24,6 +24,12 @@ type t = {
   mutable faults : (float * string) list; (* episode starts, newest first *)
   mutable suspicions : (float * bool) list; (* (time, target was alive) *)
   mutable detections : (float * float) list; (* (time, crash->detect latency) *)
+  (* queueing-delay samples from the network's capacity model, as two
+     parallel growable arrays (one sample per accepted message — a list
+     of boxed pairs would be too heavy under a storm) *)
+  mutable q_times : float array;
+  mutable q_delays : float array;
+  mutable q_n : int;
 }
 
 let create ?(window = 600.0) () =
@@ -40,6 +46,9 @@ let create ?(window = 600.0) () =
     faults = [];
     suspicions = [];
     detections = [];
+    q_times = [||];
+    q_delays = [||];
+    q_n = 0;
   }
 
 let record_send t ~time cls =
@@ -107,6 +116,18 @@ let suspicion_recorded t ~time ~target_alive =
 let crash_detected t ~time ~latency =
   if time > t.last_event then t.last_event <- time;
   t.detections <- (time, latency) :: t.detections
+
+let queue_delay t ~time delay =
+  if time > t.last_event then t.last_event <- time;
+  if t.q_n = Array.length t.q_times then begin
+    let cap = max 1024 (2 * t.q_n) in
+    let grow a = Array.append a (Array.make (cap - Array.length a) 0.0) in
+    t.q_times <- grow t.q_times;
+    t.q_delays <- grow t.q_delays
+  end;
+  t.q_times.(t.q_n) <- time;
+  t.q_delays.(t.q_n) <- delay;
+  t.q_n <- t.q_n + 1
 
 type summary = {
   lookups_sent : int;
@@ -276,6 +297,32 @@ let lookup_delays ?(since = 0.0) ?(until = infinity) t =
   Array.sort Float.compare a;
   a
 
+let queue_delays ?(since = 0.0) ?(until = infinity) t =
+  let acc = ref [] in
+  for i = 0 to t.q_n - 1 do
+    if t.q_times.(i) >= since && t.q_times.(i) <= until then
+      acc := t.q_delays.(i) :: !acc
+  done;
+  let a = Array.of_list !acc in
+  Array.sort Float.compare a;
+  a
+
+let queue_delay_series t =
+  let sums = Hashtbl.create 64 and counts = Hashtbl.create 64 in
+  for i = 0 to t.q_n - 1 do
+    let widx = int_of_float (t.q_times.(i) /. t.window) in
+    Hashtbl.replace sums widx
+      (t.q_delays.(i) +. (try Hashtbl.find sums widx with Not_found -> 0.0));
+    Hashtbl.replace counts widx
+      (1 + (try Hashtbl.find counts widx with Not_found -> 0))
+  done;
+  Hashtbl.fold
+    (fun widx s acc ->
+      let n = Hashtbl.find counts widx in
+      ((float_of_int widx +. 0.5) *. t.window, s /. float_of_int n) :: acc)
+    sums []
+  |> List.sort compare |> Array.of_list
+
 (* ---- fault episodes and recovery -------------------------------------
 
    Dependability rates are attributed to the window a lookup was *sent*
@@ -284,7 +331,12 @@ let lookup_delays ?(since = 0.0) ?(until = infinity) t =
    node at least once. Both are computable post-hoc from the per-lookup
    records, so no extra hot-path state is needed. *)
 
-type wstats = { mutable w_sent : int; mutable w_lost : int; mutable w_incorrect : int }
+type wstats = {
+  mutable w_sent : int;
+  mutable w_lost : int;
+  mutable w_incorrect : int;
+  mutable w_correct : int;
+}
 
 let sent_windows t =
   let tbl : (int, wstats) Hashtbl.t = Hashtbl.create 64 in
@@ -295,13 +347,14 @@ let sent_windows t =
         match Hashtbl.find_opt tbl widx with
         | Some w -> w
         | None ->
-            let w = { w_sent = 0; w_lost = 0; w_incorrect = 0 } in
+            let w = { w_sent = 0; w_lost = 0; w_incorrect = 0; w_correct = 0 } in
             Hashtbl.add tbl widx w;
             w
       in
       w.w_sent <- w.w_sent + 1;
       if r.deliveries = 0 then w.w_lost <- w.w_lost + 1;
-      if r.incorrect > 0 then w.w_incorrect <- w.w_incorrect + 1)
+      if r.incorrect > 0 then w.w_incorrect <- w.w_incorrect + 1;
+      if r.correct > 0 then w.w_correct <- w.w_correct + 1)
     t.lookups;
   tbl
 
@@ -324,6 +377,26 @@ let series_of t pick =
 
 let lookup_loss_series t = series_of t (fun w -> w.w_lost)
 let incorrect_series t = series_of t (fun w -> w.w_incorrect)
+
+(* goodput is attributed to the window a lookup was *sent* in, so a
+   window's offered and served rates describe the same demand *)
+let offered_goodput_series t =
+  let tbl = sent_windows t in
+  Hashtbl.fold (fun widx w acc -> (widx, w) :: acc) tbl []
+  |> List.filter (fun (_, w) -> w.w_sent > 0)
+  |> List.sort compare
+  |> List.map (fun (widx, w) ->
+         ( (float_of_int widx +. 0.5) *. t.window,
+           float_of_int w.w_sent /. t.window,
+           float_of_int w.w_correct /. t.window ))
+  |> Array.of_list
+
+let collapse_windows ?(threshold = 0.5) t =
+  offered_goodput_series t |> Array.to_list
+  |> List.filter_map (fun (mid, offered, goodput) ->
+         if offered > 0.0 && goodput /. offered < threshold then
+           Some (mid -. (t.window /. 2.0), goodput /. offered)
+         else None)
 
 type episode = {
   ep_label : string;

@@ -49,6 +49,11 @@ val crash_detected : t -> time:float -> latency:float -> unit
 (** First suspicion of a genuinely crashed node, [latency] seconds after
     its crash (detector time-to-detect; recorded once per crash). *)
 
+val queue_delay : t -> time:float -> float -> unit
+(** Feed one queueing-delay sample (seconds a message spent waiting plus
+    in service at a congested node). The harness wires this to
+    {!Netsim.Net.on_queue}; with the capacity model off it never fires. *)
+
 type summary = {
   lookups_sent : int;
   lookups_delivered : int;  (** at least once *)
@@ -100,6 +105,26 @@ val lookup_delays : ?since:float -> ?until:float -> t -> float array
 (** First-delivery delays (seconds) of lookups sent in the interval,
     sorted ascending — percentile/tail analysis for the fail-slow
     experiments. *)
+
+val queue_delays : ?since:float -> ?until:float -> t -> float array
+(** Queueing-delay samples recorded in the interval, sorted ascending —
+    percentile analysis for the congestion experiments. *)
+
+val queue_delay_series : t -> (float * float) array
+(** Windowed mean queueing delay over time (only windows with at least
+    one sample appear). *)
+
+val offered_goodput_series : t -> (float * float * float) array
+(** Per window [(mid, offered, goodput)]: lookups {e sent} per second in
+    the window vs lookups sent in it that eventually reached their true
+    root, per second. Under congestive collapse goodput falls while
+    offered load stays up. *)
+
+val collapse_windows : ?threshold:float -> t -> (float * float) list
+(** Windows whose goodput fell below [threshold] (default 0.5) of the
+    offered load, as [(window start, goodput fraction)] — the collapse
+    detector for the overload experiments. Trailing windows carry the
+    usual in-flight caveat. *)
 
 val lookup_loss_series : t -> (float * float) array
 (** Windowed lookup loss rate: for each window, the fraction of lookups

@@ -32,6 +32,8 @@ type t = {
   suspicion_backoff_max : float;
   e2e_lookup_retries : int;
   e2e_timeout_min : float;
+  backpressure : bool;
+  overload_threshold : int;
 }
 
 let default =
@@ -69,6 +71,8 @@ let default =
     suspicion_backoff_max = 600.0;
     e2e_lookup_retries = 0;
     e2e_timeout_min = 1.0;
+    backpressure = false;
+    overload_threshold = 16;
   }
 
 let validate t =
@@ -92,6 +96,7 @@ let validate t =
     err "suspicion_backoff_max must be >= suspicion_backoff"
   else if t.e2e_lookup_retries < 0 then err "e2e_lookup_retries must be >= 0"
   else if t.e2e_timeout_min <= 0.0 then err "e2e_timeout_min must be positive"
+  else if t.overload_threshold < 1 then err "overload_threshold must be >= 1"
   else Ok ()
 
 let pp fmt t =

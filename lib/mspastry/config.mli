@@ -74,6 +74,20 @@ type t = {
           reliability only. *)
   e2e_timeout_min : float;
       (** floor for the first end-to-end retry timeout (seconds, 1.0) *)
+  backpressure : bool;
+      (** overload-graceful mode: when the harness wires a local load
+          signal (see {!Node.set_load_signal}) and the signal is at or
+          above [overload_threshold], the node sheds deferrable work —
+          probe volleys collapse to single packets, routing-table probe
+          rounds and maintenance gossip are skipped (retried at the next
+          tick), and join admission is deferred ([Nn_request] and
+          [Join_request] service is refused, leaving the joiner's retry
+          machinery to try again later) — while heartbeats, leaf-set
+          probing and acking continue unthrottled. [false] (default) =
+          the paper's behaviour: no load shedding. *)
+  overload_threshold : int;
+      (** queue occupancy (messages backlogged at this node under the
+          netsim capacity model) at which backpressure engages (16) *)
 }
 
 val default : t

@@ -86,3 +86,8 @@ let all_classes =
   ]
 
 let is_control = function C_lookup -> false | _ -> true
+
+(* queueing priority under the netsim capacity model: keeping failure
+   detection and per-hop acking alive under overload matters more than
+   forwarding one more lookup *)
+let priority = function C_lookup -> 0 | _ -> 1

@@ -81,3 +81,9 @@ val classify : t -> traffic_class
 val class_name : traffic_class -> string
 val all_classes : traffic_class list
 val is_control : traffic_class -> bool
+
+val priority : traffic_class -> int
+(** Queueing priority for {!Netsim.Net}'s capacity model: control
+    traffic (everything {!is_control}) is 1, plain lookup forwarding is
+    0 — under overload a node keeps heartbeating, probing and acking
+    while lookups queue behind (and overflow first). *)

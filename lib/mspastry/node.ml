@@ -80,6 +80,7 @@ type t = {
   e2e : (int, e2e_state) Hashtbl.t; (* lookup seq -> pending retry state *)
   delivered_seqs : (int * int, unit) Hashtbl.t; (* (origin addr, seq) *)
   mutable on_suspicion : (target:int -> unit) option;
+  mutable load_signal : (unit -> int) option;
   last_heard : (Nodeid.t, float) Hashtbl.t;
   last_sent : (Nodeid.t, float) Hashtbl.t;
   rtos : (Nodeid.t, Rto.t) Hashtbl.t;
@@ -127,6 +128,7 @@ let create ~cfg ~env ~id ~addr =
     e2e = Hashtbl.create 16;
     delivered_seqs = Hashtbl.create 64;
     on_suspicion = None;
+    load_signal = None;
     last_heard = Hashtbl.create 64;
     last_sent = Hashtbl.create 64;
     rtos = Hashtbl.create 64;
@@ -179,6 +181,18 @@ let pending_probes t = Hashtbl.length t.ls_probes + Hashtbl.length t.rt_probes
 let pending_hops t = Hashtbl.length t.pending
 let pending_e2e t = Hashtbl.length t.e2e
 let set_on_suspicion t f = t.on_suspicion <- Some f
+let set_load_signal t f = t.load_signal <- Some f
+
+(* backpressure: the node is overloaded when its local queue-occupancy
+   signal (wired by the harness from the netsim capacity model) is at or
+   above the configured threshold. Always false in the paper's
+   configuration (backpressure off) or without a wired signal. *)
+let overloaded t =
+  t.cfg.Config.backpressure
+  &&
+  match t.load_signal with
+  | Some f -> f () >= t.cfg.Config.overload_threshold
+  | None -> false
 
 let suspected_set t =
   let n = now t in
@@ -389,7 +403,10 @@ and probe_copies t retries =
      the common case is untaxed while an exhausted episode has pushed
      enough packets through the link to outlast a burst. *)
   let rec pow acc n = if n <= 0 then acc else pow (acc * t.cfg.probe_volley) (n - 1) in
-  min 512 (pow 1 retries)
+  (* backpressure: volleys multiply traffic exactly when the local queue
+     is already saturated — collapse them to single packets under
+     overload *)
+  if overloaded t then 1 else min 512 (pow 1 retries)
 
 and send_ls_probe t st =
   for _ = 1 to probe_copies t st.p_retries do
@@ -736,6 +753,9 @@ and receive_root t payload ~key ~reroutes =
       end
   | M.Join_request { joiner; rows } ->
       if Nodeid.equal joiner.Peer.id t.me.Peer.id then ()
+        (* admission control: under overload the root defers the join —
+           the joiner's retry timer re-attempts once the crowd thins *)
+      else if overloaded t then ()
       else if t.active then begin
         let rows = own_rows_from t (Nodeid.shared_prefix_length ~b:t.cfg.b t.me.Peer.id joiner.Peer.id) @ rows in
         let leaf = t.me :: leaf_members_payload t in
@@ -937,6 +957,10 @@ and heartbeat_round t =
       (Leafset.members t.leafset)
 
 and rt_probe_round t =
+  (* backpressure: routing-table probing is deferrable — skip the round
+     under overload; the scan tick retries shortly *)
+  if overloaded t then ()
+  else begin
   let n = now t in
   List.iter
     (fun (e : Routing_table.entry) ->
@@ -958,17 +982,22 @@ and rt_probe_round t =
         rt_probe t j
       end)
     (Routing_table.entries t.table)
+  end
 
 and maintenance_round t =
-  (* ask one node per row for its matching row; probe unknown entries *)
-  for r = 0 to Routing_table.rows t.table - 1 do
-    match Routing_table.row_entries t.table r with
-    | [] -> ()
-    | entries ->
-        let arr = Array.of_list entries in
-        let e = Rng.pick t.env.rng arr in
-        send_msg t e.Routing_table.peer (M.Row_request { row = r })
-  done
+  (* backpressure: maintenance gossip is the most deferrable traffic of
+     all — skip the round under overload; the next tick retries *)
+  if overloaded t then ()
+  else
+    (* ask one node per row for its matching row; probe unknown entries *)
+    for r = 0 to Routing_table.rows t.table - 1 do
+      match Routing_table.row_entries t.table r with
+      | [] -> ()
+      | entries ->
+          let arr = Array.of_list entries in
+          let e = Rng.pick t.env.rng arr in
+          send_msg t e.Routing_table.peer (M.Row_request { row = r })
+    done
 
 (* ------------------------------------------------------------------ *)
 (* Join (§2, Fig 2)                                                     *)
@@ -1059,7 +1088,10 @@ and handle t ~src:_ (msg : M.t) =
     | M.Lookup l -> route_payload ~prev:sender t (M.Lookup l) ~key:l.M.key ~reroutes:0
     | M.Lookup_ack { seq } -> handle_lookup_ack t seq
     | M.Hop_ack { hop_id } -> handle_hop_ack t hop_id
-    | M.Join_request { joiner; rows } -> handle_join_request t ~sender ~joiner ~rows
+    | M.Join_request { joiner; rows } ->
+        (* admission control: refuse to forward join traffic under
+           overload (the joiner retries later) *)
+        if not (overloaded t) then handle_join_request t ~sender ~joiner ~rows
     | M.Join_reply { rows; leaf } -> handle_join_reply t ~rows ~leaf
     | M.Ls_probe { leaf; failed; trt } ->
         handle_ls_probe t ~sender ~leaf ~failed ~trt ~is_reply:false
@@ -1124,7 +1156,10 @@ and handle t ~src:_ (msg : M.t) =
         Tuning.record_failure t.tuning ~now:(now t);
         if Hashtbl.length t.ls_probes = 0 then done_probing t
     | M.Nn_request ->
-        send_msg t sender (M.Nn_reply { leaf = leaf_members_payload t })
+        (* admission control: seed discovery is the front door of a join
+           — under overload, stay silent and let the joiner retry *)
+        if not (overloaded t) then
+          send_msg t sender (M.Nn_reply { leaf = leaf_members_payload t })
     | M.Nn_reply { leaf } -> handle_nn_reply t ~sender ~leaf
   end
 

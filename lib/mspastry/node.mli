@@ -112,3 +112,15 @@ val set_on_suspicion : t -> (target:int -> unit) -> unit
     time this node's failure detector (newly or again) quarantines a
     peer — the harness uses it to score detector accuracy against ground
     truth. At most one observer; later calls replace earlier ones. *)
+
+val set_load_signal : t -> (unit -> int) -> unit
+(** Wire the node's local load signal: a thunk returning the number of
+    messages currently backlogged at this node (the harness wires it to
+    {!Netsim.Net.queue_occupancy}). Only consulted when
+    [cfg.backpressure] is on; with the signal at or above
+    [cfg.overload_threshold] the node sheds deferrable work — probe
+    volleys collapse to single packets, routing-table probe rounds and
+    maintenance gossip are skipped, and join admission ([Nn_request] /
+    [Join_request] service) is deferred — while heartbeats, leaf-set
+    probing and acking continue. At most one signal; later calls
+    replace earlier ones. *)

@@ -5,11 +5,20 @@ type t = {
   mutable srtt : float;
   mutable rttvar : float;
   mutable n : int;
+  mutable backoff_mult : float;
 }
 
 let create ~initial ~min ~max =
   if initial <= 0.0 || min <= 0.0 || max < min then invalid_arg "Rto.create";
-  { initial; min_rto = min; max_rto = max; srtt = 0.0; rttvar = 0.0; n = 0 }
+  {
+    initial;
+    min_rto = min;
+    max_rto = max;
+    srtt = 0.0;
+    rttvar = 0.0;
+    n = 0;
+    backoff_mult = 1.0;
+  }
 
 let observe t s =
   if s >= 0.0 then begin
@@ -22,19 +31,26 @@ let observe t s =
       t.srtt <- t.srtt +. (err /. 8.0);
       t.rttvar <- t.rttvar +. ((Float.abs err -. t.rttvar) /. 4.0)
     end;
-    t.n <- t.n + 1
+    t.n <- t.n + 1;
+    (* Karn: a fresh unambiguous sample ends the backoff episode *)
+    t.backoff_mult <- 1.0
   end
+
+let backoff t = t.backoff_mult <- t.backoff_mult *. 2.0
 
 (* clock-granularity floor on the variance term (TCP's G): without it a
    jitter-free path drives rttvar to 0 and the timeout races the ack *)
 let granularity = 0.01
 
 let timeout t =
-  if t.n = 0 then t.initial
-  else begin
-    let rto = (t.srtt *. 1.1) +. Float.max granularity (2.0 *. t.rttvar) in
-    Float.min t.max_rto (Float.max t.min_rto rto)
-  end
+  let base =
+    if t.n = 0 then t.initial
+    else begin
+      let rto = (t.srtt *. 1.1) +. Float.max granularity (2.0 *. t.rttvar) in
+      Float.min t.max_rto (Float.max t.min_rto rto)
+    end
+  in
+  Float.min t.max_rto (base *. t.backoff_mult)
 
 let srtt t = if t.n = 0 then None else Some t.srtt
 let samples t = t.n

@@ -19,7 +19,14 @@ val observe : t -> float -> unit
 (** Feed one RTT sample in seconds. *)
 
 val timeout : t -> float
-(** Current retransmission timeout; [initial] until the first sample. *)
+(** Current retransmission timeout; [initial] until the first sample.
+    While a backoff episode is in progress (see {!backoff}) the value is
+    doubled per retransmission, always clamped at [max]. *)
+
+val backoff : t -> unit
+(** Karn-style exponential backoff: record that a timeout expired
+    without an ack, doubling subsequent {!timeout}s (clamped at [max])
+    until the next {!observe}d unambiguous sample resets the episode. *)
 
 val srtt : t -> float option
 val samples : t -> int

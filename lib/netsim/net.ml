@@ -10,8 +10,17 @@ type stats = {
   dropped_dead : int;
   dropped_fault : int;
   dropped_node : int;
+  dropped_congestion : int;
   sent_by_class : (string * int) list;
 }
+
+type capacity = { service_rate : float; queue_limit : int }
+
+(* deterministic per-address server state: [hi_until] is the virtual
+   time at which all queued high-priority work completes, [all_until]
+   the time at which everything queued completes ([hi_until <=
+   all_until] always) *)
+type cap_state = { mutable hi_until : float; mutable all_until : float }
 
 type 'm t = {
   engine : Simkit.Engine.t;
@@ -20,25 +29,36 @@ type 'm t = {
   endpoint_of : int -> int;
   classify : 'm -> string;
   seq_of : 'm -> int option;
+  priority_of : ('m -> int) option;
   handlers : (int, src:int -> 'm -> unit) Hashtbl.t;
   mutable loss_rate : float;
   mutable fault : Netfault.t option;
   mutable node_fault : Nodefault.t option;
+  mutable capacity : capacity option;
+  cap_states : (int, cap_state) Hashtbl.t;
   mutable taps : (time:float -> src:int -> dst:int -> 'm -> unit) list;
+  mutable queue_taps : (addr:int -> cls:string -> delay:float -> unit) list;
   mutable n_sent : int;
   mutable n_delivered : int;
   mutable n_dropped_loss : int;
   mutable n_dropped_dead : int;
   mutable n_dropped_fault : int;
   mutable n_dropped_node : int;
+  mutable n_dropped_congestion : int;
   by_class : (string, int ref) Hashtbl.t;
   mutable trace : Obs.Trace.t;
 }
 
+let validate_capacity c =
+  if c.service_rate <= 0.0 || Float.is_nan c.service_rate then
+    invalid_arg "Net.capacity: service_rate must be > 0";
+  if c.queue_limit < 1 then invalid_arg "Net.capacity: queue_limit must be >= 1"
+
 let create ?(loss_rate = 0.0) ?(endpoint_of = fun a -> a)
-    ?(classify = fun _ -> "msg") ?(seq_of = fun _ -> None)
+    ?(classify = fun _ -> "msg") ?(seq_of = fun _ -> None) ?priority_of ?capacity
     ?(trace = Obs.Trace.disabled) ~engine ~topology ~rng () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Net.create: loss_rate";
+  Option.iter validate_capacity capacity;
   {
     engine;
     topology;
@@ -46,17 +66,22 @@ let create ?(loss_rate = 0.0) ?(endpoint_of = fun a -> a)
     endpoint_of;
     classify;
     seq_of;
+    priority_of;
     handlers = Hashtbl.create 256;
     loss_rate;
     fault = None;
     node_fault = None;
+    capacity;
+    cap_states = Hashtbl.create 256;
     taps = [];
+    queue_taps = [];
     n_sent = 0;
     n_delivered = 0;
     n_dropped_loss = 0;
     n_dropped_dead = 0;
     n_dropped_fault = 0;
     n_dropped_node = 0;
+    n_dropped_congestion = 0;
     by_class = Hashtbl.create 16;
     trace;
   }
@@ -66,6 +91,10 @@ let topology t = t.topology
 
 let set_loss_rate t r =
   if r < 0.0 || r >= 1.0 then invalid_arg "Net.set_loss_rate: loss_rate";
+  if t.fault <> None then
+    invalid_arg
+      "Net.set_loss_rate: a fault model is installed and overrides the uniform \
+       process; clear it first (set_fault_model t None)";
   t.loss_rate <- r
 
 let loss_rate t = t.loss_rate
@@ -75,8 +104,39 @@ let set_node_fault_model t fault = t.node_fault <- fault
 let node_fault_model t = t.node_fault
 let set_trace t trace = t.trace <- trace
 
+let set_capacity t cap =
+  Option.iter validate_capacity cap;
+  if cap = None then Hashtbl.reset t.cap_states;
+  t.capacity <- cap
+
+let capacity t = t.capacity
+
+let cap_state t addr =
+  match Hashtbl.find_opt t.cap_states addr with
+  | Some st -> st
+  | None ->
+      let st = { hi_until = 0.0; all_until = 0.0 } in
+      Hashtbl.add t.cap_states addr st;
+      st
+
+let queue_occupancy t ~addr =
+  match t.capacity with
+  | None -> 0
+  | Some cap -> (
+      match Hashtbl.find_opt t.cap_states addr with
+      | None -> 0
+      | Some st ->
+          let backlog = st.all_until -. Simkit.Engine.now t.engine in
+          if backlog <= 0.0 then 0
+          else int_of_float ((backlog *. cap.service_rate) +. 0.5))
+
+let on_queue t tap = t.queue_taps <- tap :: t.queue_taps
+
 let register t ~addr handler = Hashtbl.replace t.handlers addr handler
-let unregister t ~addr = Hashtbl.remove t.handlers addr
+
+let unregister t ~addr =
+  Hashtbl.remove t.handlers addr;
+  Hashtbl.remove t.cap_states addr
 let is_registered t ~addr = Hashtbl.mem t.handlers addr
 
 (* distinct addresses on the same endpoint are LAN neighbours, not the
@@ -160,7 +220,7 @@ let send t ~src ~dst msg =
       | Nodefault.Mute ->
           t.n_dropped_node <- t.n_dropped_node + 1;
           emit_drop ~time:now Obs.Event.Node_fault
-      | Nodefault.Pass | Nodefault.Slow _ ->
+      | Nodefault.Pass | Nodefault.Slow _ -> (
           let factor, node_extra =
             let of_verdict = function
               | Nodefault.Slow { factor; extra } -> (factor, extra)
@@ -171,6 +231,45 @@ let send t ~src ~dst msg =
             (fs *. fr, es +. er)
           in
           let d = (delay t src dst *. factor) +. node_extra +. link_extra in
+          (* optional capacity model: the message joins the destination's
+             bounded queue when it arrives; queueing is deterministic (no
+             RNG), so the default-off path stays bit-identical *)
+          let d =
+            match t.capacity with
+            | None -> Some d
+            | Some cap ->
+                let st = cap_state t dst in
+                let service = 1.0 /. cap.service_rate in
+                let a = now +. d in
+                let hi = if st.hi_until > a then st.hi_until else a in
+                let all = if st.all_until > a then st.all_until else a in
+                let high =
+                  match t.priority_of with Some p -> p msg > 0 | None -> false
+                in
+                let band_until = if high then hi else all in
+                let occ =
+                  int_of_float (((band_until -. a) *. cap.service_rate) +. 0.5)
+                in
+                if occ >= cap.queue_limit then None
+                else begin
+                  let completion = band_until +. service in
+                  if high then begin
+                    st.hi_until <- completion;
+                    st.all_until <- all +. service
+                  end
+                  else st.all_until <- completion;
+                  let qdelay = completion -. a in
+                  List.iter
+                    (fun tap -> tap ~addr:dst ~cls ~delay:qdelay)
+                    t.queue_taps;
+                  Some (completion -. now)
+                end
+          in
+          match d with
+          | None ->
+              t.n_dropped_congestion <- t.n_dropped_congestion + 1;
+              emit_drop ~time:now Obs.Event.Congested
+          | Some d ->
           ignore
             (Simkit.Engine.schedule t.engine ~delay:d (fun () ->
                  let recv_mute =
@@ -204,12 +303,13 @@ let send t ~src ~dst msg =
                    | None ->
                        t.n_dropped_dead <- t.n_dropped_dead + 1;
                        emit_drop ~time:(Simkit.Engine.now t.engine)
-                         Obs.Event.Dead_destination)))
+                         Obs.Event.Dead_destination))))
 
 let n_sent t = t.n_sent
 let n_delivered t = t.n_delivered
 let n_dropped t =
   t.n_dropped_loss + t.n_dropped_dead + t.n_dropped_fault + t.n_dropped_node
+  + t.n_dropped_congestion
 
 let sent_in_class t cls =
   match Hashtbl.find_opt t.by_class cls with Some r -> !r | None -> 0
@@ -222,6 +322,7 @@ let stats t =
     dropped_dead = t.n_dropped_dead;
     dropped_fault = t.n_dropped_fault;
     dropped_node = t.n_dropped_node;
+    dropped_congestion = t.n_dropped_congestion;
     sent_by_class =
       Hashtbl.fold (fun cls r acc -> (cls, !r) :: acc) t.by_class []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);

@@ -4,8 +4,17 @@
     (the topology's endpoint indices). A sent message is delivered after
     the topology's one-way propagation delay, unless it is dropped by the
     loss process or the destination has crashed (unregistered) by
-    delivery time. Matching the paper's simulator, congestion delays and
-    losses are not modelled.
+    delivery time.
+
+    Congestion is modelled by an {e optional} per-node capacity model
+    ({!set_capacity}): each address owns a deterministic single server
+    with a fixed service rate and a bounded queue, so messages accrue
+    queueing delay at their destination and overflow is dropped with
+    reason [Congested]. The model is off by default — matching the
+    paper's simulator, which models neither congestion delays nor
+    congestion losses — and the default-off send path is bit-identical
+    to a build without the model (no extra RNG draws, same event
+    schedule).
 
     The drop/delay decision is pluggable: by default the paper's
     i.i.d. uniform process ([loss_rate]) applies; {!set_fault_model}
@@ -30,14 +39,24 @@ type stats = {
   dropped_node : int;
       (** swallowed by a per-node fault: a fail-silent/flapping sender at
           send time, or a flapping receiver down at delivery time *)
+  dropped_congestion : int;
+      (** rejected by the destination's full bounded queue (capacity
+          model installed and overloaded) *)
   sent_by_class : (string * int) list;
 }
+
+(** Per-node capacity: the node services [service_rate] messages per
+    second, one at a time, from a queue holding at most [queue_limit]
+    unserviced messages. *)
+type capacity = { service_rate : float; queue_limit : int }
 
 val create :
   ?loss_rate:float ->
   ?endpoint_of:(int -> int) ->
   ?classify:('m -> string) ->
   ?seq_of:('m -> int option) ->
+  ?priority_of:('m -> int) ->
+  ?capacity:capacity ->
   ?trace:Repro_obs.Trace.t ->
   engine:Simkit.Engine.t ->
   topology:Topology.t ->
@@ -50,15 +69,27 @@ val create :
     small LAN delay instead of zero. [classify] names a message's traffic
     class for the per-class counters and trace events (default ["msg"]);
     [seq_of] extracts a lookup sequence number so trace [Send]/[Drop]
-    events can be attributed to a lookup (default [None]). *)
+    events can be attributed to a lookup (default [None]). [priority_of]
+    assigns a queueing priority (only consulted while a capacity model is
+    installed): messages with priority > 0 jump ahead of priority-0
+    traffic in the destination's queue and are only dropped when the
+    queue is full of equally-urgent messages; without it the queue is
+    plain FIFO. [capacity] installs the capacity model from the start
+    (default off; see {!set_capacity}). *)
 
 val engine : 'm t -> Simkit.Engine.t
 val topology : 'm t -> Topology.t
 
 val set_loss_rate : 'm t -> float -> unit
 (** Change the uniform drop probability. Raises [Invalid_argument] unless
-    [0.0 <= r < 1.0] (same contract as {!create}). Only effective while
-    no fault model is installed. *)
+    [0.0 <= r < 1.0] (same contract as {!create}).
+
+    Precedence: an installed fault model ({!set_fault_model}) {e
+    replaces} the uniform process entirely, so changing the uniform rate
+    underneath it could never take effect until the model is cleared.
+    Rather than silently accepting a rate that does nothing, this raises
+    [Invalid_argument] while a fault model is installed — clear it first
+    with [set_fault_model t None], then set the rate. *)
 
 val loss_rate : 'm t -> float
 
@@ -83,6 +114,36 @@ val set_node_fault_model : 'm t -> Repro_faults.Nodefault.t option -> unit
     the message is in flight still gets it. [None] removes the model. *)
 
 val node_fault_model : 'm t -> Repro_faults.Nodefault.t option
+
+val set_capacity : 'm t -> capacity option -> unit
+(** [set_capacity t (Some c)] turns the per-node capacity model on:
+    every message that survives the loss/fault verdicts joins its
+    destination's bounded queue at its (uncongested) arrival time, waits
+    behind the backlog, and is delivered one service interval
+    ([1 / c.service_rate]) after reaching the head; a message arriving
+    at a queue already holding [c.queue_limit] unserviced messages is
+    dropped, counted in [dropped_congestion] and traced with reason
+    [Congested]. With a [priority_of] hook (see {!create}), priority-> 0
+    messages wait only behind the high-priority backlog (later-arriving
+    low-priority traffic is pushed back) and overflow is charged to the
+    low band first. The model is deterministic — installing it never
+    draws from the RNG. [None] turns it off and clears all queue state.
+
+    Raises [Invalid_argument] unless [service_rate > 0] and
+    [queue_limit >= 1]. *)
+
+val capacity : 'm t -> capacity option
+
+val queue_occupancy : 'm t -> addr:int -> int
+(** Number of unserviced messages in [addr]'s queue at the current
+    virtual time (0 when no capacity model is installed) — the local
+    load signal a node can consult for backpressure. *)
+
+val on_queue : 'm t -> (addr:int -> cls:string -> delay:float -> unit) -> unit
+(** Metrics tap invoked for every message accepted into a bounded queue;
+    [delay] is its queueing delay (wait + service beyond the propagation
+    delay) at destination [addr]. Never invoked while the capacity model
+    is off. *)
 
 val set_trace : 'm t -> Repro_obs.Trace.t -> unit
 
@@ -109,7 +170,8 @@ val n_sent : 'm t -> int
 val n_delivered : 'm t -> int
 
 val n_dropped : 'm t -> int
-(** Losses plus messages addressed to crashed endpoints. *)
+(** All drops: losses, fault/node-fault drops, congestion overflow, and
+    messages addressed to crashed endpoints. *)
 
 val sent_in_class : 'm t -> string -> int
 (** Sends whose [classify] returned the given class name so far. *)

@@ -1,5 +1,5 @@
 type stage = Leafset | Table | Closest
-type drop_reason = Loss | Dead_destination | Faulted | Node_fault
+type drop_reason = Loss | Dead_destination | Faulted | Node_fault | Congested
 
 type body =
   | Send of { src : int; dst : int; cls : string; seq : int option }
@@ -39,12 +39,14 @@ let drop_reason_name = function
   | Dead_destination -> "dead-dst"
   | Faulted -> "fault"
   | Node_fault -> "node-fault"
+  | Congested -> "congestion"
 
 let drop_reason_of_name = function
   | "loss" -> Some Loss
   | "dead-dst" -> Some Dead_destination
   | "fault" -> Some Faulted
   | "node-fault" -> Some Node_fault
+  | "congestion" -> Some Congested
   | _ -> None
 
 let kind_name t =

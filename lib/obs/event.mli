@@ -20,6 +20,9 @@ type drop_reason =
   | Dead_destination  (** destination unregistered (crashed) by delivery time *)
   | Faulted  (** dropped by an installed fault model (burst, blackhole, partition) *)
   | Node_fault  (** swallowed by a per-node fault (fail-silent or flapping) *)
+  | Congested
+      (** rejected by a full bounded queue under the per-node capacity
+          model (overload; see {!Netsim.Net.set_capacity}) *)
 
 type body =
   | Send of { src : int; dst : int; cls : string; seq : int option }

@@ -107,6 +107,180 @@ let test_set_loss_rate () =
   Engine.run_all engine;
   Alcotest.(check bool) "almost all lost" true (!got < 10)
 
+(* ---------------------------------------------- capacity / queue model *)
+
+let make_cap ?priority_of ~service_rate ~queue_limit () =
+  let engine = Engine.create () in
+  let topology = Topology.constant ~n_endpoints:8 ~delay:0.01 in
+  let net =
+    Net.create ?priority_of
+      ~capacity:{ Net.service_rate; queue_limit }
+      ~engine ~topology ~rng:(Rng.create 1) ()
+  in
+  (engine, net)
+
+let test_capacity_queueing_delay () =
+  (* service 0.1 s/message: three back-to-back messages to the same node
+     serialise — delivery at arrival + k*service for the k-th in line *)
+  let engine, net = make_cap ~service_rate:10.0 ~queue_limit:16 () in
+  let got = ref [] in
+  Net.register net ~addr:1 (fun ~src:_ _ -> got := Engine.now engine :: !got);
+  for _ = 1 to 3 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run_all engine;
+  Alcotest.(check (list (float 1e-9))) "serialised deliveries"
+    [ 0.11; 0.21; 0.31 ] (List.rev !got)
+
+let test_capacity_overflow_drop () =
+  let engine, net = make_cap ~service_rate:10.0 ~queue_limit:2 () in
+  let got = ref 0 in
+  Net.register net ~addr:1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 5 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run_all engine;
+  Alcotest.(check int) "first two queued" 2 !got;
+  let s = Net.stats net in
+  Alcotest.(check int) "rest dropped as congestion" 3 s.Net.dropped_congestion;
+  Alcotest.(check int) "n_dropped includes congestion" 3 (Net.n_dropped net);
+  Alcotest.(check int) "no other drop cause" 0
+    (s.Net.dropped_loss + s.Net.dropped_dead + s.Net.dropped_fault + s.Net.dropped_node)
+
+let test_capacity_priority () =
+  (* two low-priority messages fill the line; a later high-priority one
+     overtakes them (waits only behind the high band) *)
+  let engine, net =
+    make_cap
+      ~priority_of:(fun m -> if m = "hi" then 1 else 0)
+      ~service_rate:10.0 ~queue_limit:16 ()
+  in
+  let got = ref [] in
+  Net.register net ~addr:1 (fun ~src:_ msg -> got := (msg, Engine.now engine) :: !got);
+  Net.send net ~src:0 ~dst:1 "lo1";
+  Net.send net ~src:0 ~dst:1 "lo2";
+  Net.send net ~src:0 ~dst:1 "hi";
+  Net.send net ~src:0 ~dst:1 "lo3";
+  Engine.run_all engine;
+  let order = List.rev_map fst !got in
+  Alcotest.(check (list string)) "high overtakes queued low"
+    [ "lo1"; "hi"; "lo2"; "lo3" ] order;
+  let at_of m =
+    match List.assoc_opt m (List.rev !got) with
+    | Some at -> at
+    | None -> Alcotest.failf "%s lost" m
+  in
+  Alcotest.(check (float 1e-9)) "high unqueued" 0.11 (at_of "hi");
+  (* lo2 was committed before the high arrival and keeps its slot; the
+     high insertion pushes back only low work enqueued after it *)
+  Alcotest.(check (float 1e-9)) "committed low keeps slot" 0.21 (at_of "lo2");
+  Alcotest.(check (float 1e-9)) "later low pushed back" 0.41 (at_of "lo3")
+
+let test_capacity_occupancy_and_tap () =
+  let engine, net = make_cap ~service_rate:10.0 ~queue_limit:16 () in
+  let taps = ref [] in
+  Net.on_queue net (fun ~addr ~cls:_ ~delay -> taps := (addr, delay) :: !taps);
+  Net.register net ~addr:1 (fun ~src:_ _ -> ());
+  for _ = 1 to 3 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  (* backlog at t=0: three unserved messages, 0.31 s of work *)
+  Alcotest.(check int) "occupancy while backlogged" 3 (Net.queue_occupancy net ~addr:1);
+  Alcotest.(check int) "untouched node empty" 0 (Net.queue_occupancy net ~addr:5);
+  Alcotest.(check (list (float 1e-9))) "tap reports wait + service"
+    [ 0.1; 0.2; 0.3 ]
+    (List.rev_map snd !taps |> List.map (fun d -> Float.round (d *. 1e9) /. 1e9));
+  List.iter (fun (a, _) -> Alcotest.(check int) "tap addr" 1 a) !taps;
+  Engine.run_all engine;
+  Alcotest.(check int) "drained" 0 (Net.queue_occupancy net ~addr:1)
+
+let test_capacity_default_off () =
+  (* no capacity configured: no queue samples, no congestion drops, and
+     the accessor reports empty *)
+  let engine, net = make () in
+  let taps = ref 0 in
+  Net.on_queue net (fun ~addr:_ ~cls:_ ~delay:_ -> incr taps);
+  Net.register net ~addr:1 (fun ~src:_ _ -> ());
+  for _ = 1 to 100 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run_all engine;
+  Alcotest.(check int) "no taps" 0 !taps;
+  Alcotest.(check int) "no congestion drops" 0 (Net.stats net).Net.dropped_congestion;
+  Alcotest.(check int) "occupancy zero" 0 (Net.queue_occupancy net ~addr:1);
+  Alcotest.(check bool) "no capacity" true (Net.capacity net = None)
+
+let test_capacity_validation () =
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Net.capacity: service_rate must be > 0") (fun () ->
+      ignore (make_cap ~service_rate:0.0 ~queue_limit:4 ()));
+  Alcotest.check_raises "empty queue"
+    (Invalid_argument "Net.capacity: queue_limit must be >= 1") (fun () ->
+      ignore (make_cap ~service_rate:1.0 ~queue_limit:0 ()));
+  let _, net = make () in
+  Alcotest.check_raises "set_capacity validates too"
+    (Invalid_argument "Net.capacity: service_rate must be > 0") (fun () ->
+      Net.set_capacity net (Some { Net.service_rate = -1.0; queue_limit = 4 }))
+
+let test_set_loss_rate_vs_fault_model () =
+  (* with a fault model installed the uniform process is inert: setting
+     it is a programming error, not a silent no-op *)
+  let _, net = make () in
+  Net.set_fault_model net (Some (Repro_faults.Netfault.uniform ~rate:0.5));
+  Alcotest.check_raises "raises while model installed"
+    (Invalid_argument
+       "Net.set_loss_rate: a fault model is installed and overrides the \
+        uniform process; clear it first (set_fault_model t None)") (fun () ->
+      Net.set_loss_rate net 0.1);
+  Net.set_fault_model net None;
+  Net.set_loss_rate net 0.1;
+  Alcotest.(check (float 1e-9)) "accepted after clearing" 0.1 (Net.loss_rate net)
+
+(* every send is accounted for exactly once, whatever mix of loss,
+   fault models, node faults, congestion and dead destinations it met *)
+let qcheck_stats_conservation =
+  QCheck.Test.make ~name:"netsim conserves sent = delivered + drops" ~count:60
+    QCheck.(pair small_nat (int_bound 3))
+    (fun (seed, scenario) ->
+      let engine = Engine.create () in
+      let topology = Topology.constant ~n_endpoints:8 ~delay:0.01 in
+      let capacity =
+        if scenario = 3 then Some { Net.service_rate = 20.0; queue_limit = 3 }
+        else None
+      in
+      let net =
+        Net.create ~loss_rate:(if scenario = 0 then 0.3 else 0.0) ?capacity
+          ~engine ~topology ~rng:(Rng.create (seed + 1)) ()
+      in
+      if scenario = 1 then
+        Net.set_fault_model net (Some (Repro_faults.Netfault.uniform ~rate:0.4));
+      if scenario = 2 then
+        Net.set_node_fault_model net
+          (Some (Repro_faults.Nodefault.fail_silent ~addrs:[ 1; 2 ] ()));
+      let rng = Rng.create seed in
+      (* register only half the addresses: dead destinations included *)
+      for a = 0 to 3 do
+        Net.register net ~addr:a (fun ~src:_ _ -> ())
+      done;
+      let n_msgs = 200 in
+      for _ = 1 to n_msgs do
+        let src = Rng.int rng 8 and dst = Rng.int rng 8 in
+        ignore (Simkit.Engine.schedule engine ~delay:(Rng.float rng 2.0) (fun () ->
+            Net.send net ~src ~dst "m"))
+      done;
+      (* crash one node mid-run so in-flight messages hit a dead handler *)
+      ignore (Simkit.Engine.schedule engine ~delay:1.0 (fun () ->
+          Net.unregister net ~addr:3));
+      Engine.run_all engine;
+      let s = Net.stats net in
+      let drops =
+        s.Net.dropped_loss + s.Net.dropped_dead + s.Net.dropped_fault
+        + s.Net.dropped_node + s.Net.dropped_congestion
+      in
+      s.Net.sent = n_msgs
+      && drops = Net.n_dropped net
+      && s.Net.sent = s.Net.delivered + drops)
+
 let test_handler_replacement () =
   let engine, net = make () in
   let a = ref 0 and b = ref 0 in
@@ -132,5 +306,17 @@ let suite =
         Alcotest.test_case "endpoint mapping" `Quick test_endpoint_mapping;
         Alcotest.test_case "set loss rate" `Quick test_set_loss_rate;
         Alcotest.test_case "handler replacement" `Quick test_handler_replacement;
+        Alcotest.test_case "capacity: queueing delay" `Quick
+          test_capacity_queueing_delay;
+        Alcotest.test_case "capacity: overflow drops" `Quick
+          test_capacity_overflow_drop;
+        Alcotest.test_case "capacity: priority bands" `Quick test_capacity_priority;
+        Alcotest.test_case "capacity: occupancy and taps" `Quick
+          test_capacity_occupancy_and_tap;
+        Alcotest.test_case "capacity: default off" `Quick test_capacity_default_off;
+        Alcotest.test_case "capacity: validation" `Quick test_capacity_validation;
+        Alcotest.test_case "set_loss_rate vs fault model" `Quick
+          test_set_loss_rate_vs_fault_model;
+        QCheck_alcotest.to_alcotest qcheck_stats_conservation;
       ] );
   ]

@@ -48,6 +48,12 @@ let every_variant : Event.t list =
         Event.Drop
           { src = 5; dst = 6; cls = "join"; seq = None; reason = Event.Dead_destination };
     };
+    {
+      time = t;
+      body =
+        Event.Drop
+          { src = 5; dst = 6; cls = "lookup"; seq = Some 10; reason = Event.Congested };
+    };
     { time = t; body = Event.Timer_fired };
     { time = t; body = Event.Timer_cancelled };
     { time = t; body = Event.Node_join { addr = 11 } };

@@ -66,6 +66,89 @@ let qcheck_matches_bruteforce =
             (fun (id, _) -> Nodeid.equal id best || not (Nodeid.closer ~key id best))
             ids)
 
+(* ------------------------------------------------------- ring audit *)
+
+let ring3 () =
+  let o = Oracle.create () in
+  Oracle.add o (Nodeid.of_int 10) 1;
+  Oracle.add o (Nodeid.of_int 20) 2;
+  Oracle.add o (Nodeid.of_int 30) 3;
+  o
+
+(* the true (left, right) = (predecessor, successor) neighbours of the
+   sorted ring 10 -> 20 -> 30 (with wrap) *)
+let truth = function
+  | 1 -> Some (Some (Nodeid.of_int 30), Some (Nodeid.of_int 20))
+  | 2 -> Some (Some (Nodeid.of_int 10), Some (Nodeid.of_int 30))
+  | 3 -> Some (Some (Nodeid.of_int 20), Some (Nodeid.of_int 10))
+  | _ -> None
+
+let test_ring_audit_consistent () =
+  let a = Oracle.ring_audit (ring3 ()) ~neighbors:truth in
+  Alcotest.(check int) "audited" 3 a.Oracle.audited;
+  Alcotest.(check int) "left all ok" 3 a.Oracle.left_ok;
+  Alcotest.(check int) "right all ok" 3 a.Oracle.right_ok;
+  Alcotest.(check (float 1e-9)) "full agreement" 1.0 a.Oracle.agreement
+
+let test_ring_audit_disagreement () =
+  (* node 2 is confused about its left neighbour *)
+  let lie addr =
+    if addr = 2 then Some (Some (Nodeid.of_int 30), Some (Nodeid.of_int 30))
+    else truth addr
+  in
+  let a = Oracle.ring_audit (ring3 ()) ~neighbors:lie in
+  Alcotest.(check int) "left wrong once" 2 a.Oracle.left_ok;
+  Alcotest.(check int) "right intact" 3 a.Oracle.right_ok;
+  Alcotest.(check (float 1e-9)) "5/6 agreement" (5.0 /. 6.0) a.Oracle.agreement
+
+let test_ring_audit_skips () =
+  (* an unauditable node (e.g. not yet active) is excluded, not failed *)
+  let partial addr = if addr = 3 then None else truth addr in
+  let a = Oracle.ring_audit (ring3 ()) ~neighbors:partial in
+  Alcotest.(check int) "audited" 2 a.Oracle.audited;
+  Alcotest.(check (float 1e-9)) "agreement over audited" 1.0 a.Oracle.agreement
+
+let test_ring_audit_singleton_and_empty () =
+  let o = Oracle.create () in
+  let a = Oracle.ring_audit o ~neighbors:(fun _ -> Some (None, None)) in
+  Alcotest.(check int) "empty audits nothing" 0 a.Oracle.audited;
+  Alcotest.(check (float 1e-9)) "vacuous agreement" 1.0 a.Oracle.agreement;
+  Oracle.add o (Nodeid.of_int 10) 1;
+  (* a singleton ring has no neighbours; claiming one is a disagreement *)
+  let a1 = Oracle.ring_audit o ~neighbors:(fun _ -> Some (None, None)) in
+  Alcotest.(check (float 1e-9)) "singleton agrees on None" 1.0 a1.Oracle.agreement;
+  let a2 =
+    Oracle.ring_audit o ~neighbors:(fun _ ->
+        Some (Some (Nodeid.of_int 99), None))
+  in
+  Alcotest.(check (float 1e-9)) "phantom neighbour flagged" 0.5 a2.Oracle.agreement
+
+let qcheck_ring_audit_truth =
+  QCheck.Test.make ~name:"ring audit accepts ground truth" ~count:200 QCheck.int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let o = Oracle.create () in
+      let n = 2 + Rng.int rng 20 in
+      let ids = Array.init n (fun k -> (Nodeid.random rng, k)) in
+      Array.iter (fun (id, a) -> Oracle.add o id a) ids;
+      (* ground truth by brute force over the sorted id list *)
+      let sorted = Array.map fst ids in
+      Array.sort Nodeid.compare sorted;
+      let index_of id =
+        let r = ref (-1) in
+        Array.iteri (fun i x -> if Nodeid.equal x id then r := i) sorted;
+        !r
+      in
+      let neighbors addr =
+        let id = fst ids.(addr) in
+        let i = index_of id in
+        Some
+          ( Some sorted.((i + n - 1) mod n),
+            Some sorted.((i + 1) mod n) )
+      in
+      let a = Oracle.ring_audit o ~neighbors in
+      a.Oracle.audited = n && a.Oracle.agreement = 1.0)
+
 let suite =
   [
     ( "oracle",
@@ -76,5 +159,11 @@ let suite =
         Alcotest.test_case "closest wraps" `Quick test_closest_wraps;
         Alcotest.test_case "closest tie-break" `Quick test_closest_tiebreak;
         QCheck_alcotest.to_alcotest qcheck_matches_bruteforce;
+        Alcotest.test_case "ring audit consistent" `Quick test_ring_audit_consistent;
+        Alcotest.test_case "ring audit disagreement" `Quick test_ring_audit_disagreement;
+        Alcotest.test_case "ring audit skips unauditable" `Quick test_ring_audit_skips;
+        Alcotest.test_case "ring audit singleton/empty" `Quick
+          test_ring_audit_singleton_and_empty;
+        QCheck_alcotest.to_alcotest qcheck_ring_audit_truth;
       ] );
   ]

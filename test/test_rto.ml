@@ -52,6 +52,46 @@ let test_negative_ignored () =
   Rto.observe r (-1.0);
   Alcotest.(check int) "ignored" 0 (Rto.samples r)
 
+let test_backoff_doubles () =
+  let r = make () in
+  Rto.observe r 0.1;
+  Alcotest.(check (float 1e-9)) "base" 0.21 (Rto.timeout r);
+  Rto.backoff r;
+  Alcotest.(check (float 1e-9)) "doubled" 0.42 (Rto.timeout r);
+  Rto.backoff r;
+  Alcotest.(check (float 1e-9)) "doubled again" 0.84 (Rto.timeout r)
+
+let test_backoff_clamps_at_max () =
+  let r = make () in
+  Rto.observe r 0.1;
+  for _ = 1 to 10 do
+    Rto.backoff r
+  done;
+  Alcotest.(check (float 1e-9)) "clamped at max" 3.0 (Rto.timeout r);
+  (* also from the pre-sample initial value *)
+  let r' = make () in
+  for _ = 1 to 4 do
+    Rto.backoff r'
+  done;
+  Alcotest.(check (float 1e-9)) "initial clamped too" 3.0 (Rto.timeout r')
+
+let test_backoff_reset_on_observe () =
+  (* Karn: an unambiguous sample ends the backoff episode *)
+  let r = make () in
+  Rto.observe r 0.1;
+  Rto.backoff r;
+  Rto.backoff r;
+  let backed_off = Rto.timeout r in
+  Rto.observe r 0.1;
+  Alcotest.(check bool) "multiplier cleared" true (Rto.timeout r < backed_off /. 2.0);
+  (* negative (ignored) samples must NOT reset the episode *)
+  let r' = make () in
+  Rto.observe r' 0.1;
+  Rto.backoff r';
+  let before = Rto.timeout r' in
+  Rto.observe r' (-1.0);
+  Alcotest.(check (float 1e-9)) "ignored sample keeps backoff" before (Rto.timeout r')
+
 let test_create_validation () =
   Alcotest.check_raises "bad bounds" (Invalid_argument "Rto.create") (fun () ->
       ignore (Rto.create ~initial:0.5 ~min:1.0 ~max:0.5))
@@ -67,6 +107,10 @@ let suite =
         Alcotest.test_case "max clamp" `Quick test_max_clamp;
         Alcotest.test_case "variance reacts to spikes" `Quick test_variance_reacts;
         Alcotest.test_case "negative samples ignored" `Quick test_negative_ignored;
+        Alcotest.test_case "backoff doubles" `Quick test_backoff_doubles;
+        Alcotest.test_case "backoff clamps at max" `Quick test_backoff_clamps_at_max;
+        Alcotest.test_case "backoff resets on observe" `Quick
+          test_backoff_reset_on_observe;
         Alcotest.test_case "create validation" `Quick test_create_validation;
       ] );
   ]

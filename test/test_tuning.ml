@@ -128,6 +128,39 @@ let test_observe_remote_ignores_garbage () =
   let trt = Tuning.current_trt t ~leafset:ls ~m:10 ~now:100.0 in
   Alcotest.(check (float 1e-6)) "unaffected" cfg.Config.t_rt_max trt
 
+let test_current_trt_caps_at_max () =
+  (* absurd remote values cannot push Trt past the configured cap *)
+  let t = Tuning.create cfg ~now:0.0 in
+  let ls = Leafset.create ~l:8 ~me:(Peer.make (Nodeid.of_int 0) 0) in
+  List.iter (fun v -> Tuning.observe_remote t v) [ 1e6; 1e6; 1e6; 1e6; 1e6 ];
+  let trt = Tuning.current_trt t ~leafset:ls ~m:10 ~now:100.0 in
+  Alcotest.(check (float 1e-6)) "capped at t_rt_max" cfg.Config.t_rt_max trt
+
+let test_observe_remote_ring_converges () =
+  (* the remote buffer keeps only the newest 32 samples: after 32 fresh
+     observations the old regime is fully forgotten and the median
+     converges to the new value *)
+  let t = Tuning.create cfg ~now:0.0 in
+  let ls = Leafset.create ~l:8 ~me:(Peer.make (Nodeid.of_int 0) 0) in
+  for _ = 1 to 32 do
+    Tuning.observe_remote t 200.0
+  done;
+  for _ = 1 to 32 do
+    Tuning.observe_remote t 50.0
+  done;
+  let trt = Tuning.current_trt t ~leafset:ls ~m:10 ~now:100.0 in
+  Alcotest.(check (float 1e-6)) "old regime forgotten" 50.0 trt;
+  (* halfway through the switch the median still reflects the mix *)
+  let t2 = Tuning.create cfg ~now:0.0 in
+  for _ = 1 to 32 do
+    Tuning.observe_remote t2 200.0
+  done;
+  for _ = 1 to 8 do
+    Tuning.observe_remote t2 50.0
+  done;
+  let trt2 = Tuning.current_trt t2 ~leafset:ls ~m:10 ~now:100.0 in
+  Alcotest.(check (float 1e-6)) "mixed regime keeps old median" 200.0 trt2
+
 let qcheck_solve_in_bounds =
   QCheck.Test.make ~name:"solve_trt within [floor, cap]" ~count:200
     QCheck.(pair (float_range 2.0 100000.0) (float_range 1e-8 0.1))
@@ -153,6 +186,9 @@ let suite =
         Alcotest.test_case "median of remote values" `Quick test_current_trt_median;
         Alcotest.test_case "floor enforced" `Quick test_current_trt_bounds;
         Alcotest.test_case "garbage remotes ignored" `Quick test_observe_remote_ignores_garbage;
+        Alcotest.test_case "caps at t_rt_max" `Quick test_current_trt_caps_at_max;
+        Alcotest.test_case "remote ring buffer converges" `Quick
+          test_observe_remote_ring_converges;
         QCheck_alcotest.to_alcotest qcheck_solve_in_bounds;
       ] );
   ]
