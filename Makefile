@@ -1,6 +1,7 @@
 # Convenience wrappers around dune. `make help` lists targets.
 
-.PHONY: all build test bench bench-json tracedump fmt clean help
+.PHONY: all build test bench bench-json bench-baseline bench-check profile \
+	tracedump fmt clean help
 
 all: build
 
@@ -16,6 +17,20 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- micro --json
 
+bench-baseline:
+	dune exec bench/main.exe -- micro --json -o BENCH_baseline.json
+
+# The CI perf gate, runnable locally: fresh micro run vs the committed
+# baseline, failing on any kernel >25% slower.
+bench-check:
+	dune exec bench/main.exe -- micro --json -o BENCH_new.json
+	dune exec bin/statsdump.exe -- --bench BENCH_baseline.json BENCH_new.json
+
+# Profiled end-to-end run: prints the phase breakdown and writes a run
+# manifest (inspect with `dune exec bin/statsdump.exe -- run.json`).
+profile:
+	dune exec bin/experiments.exe -- fig6 --size quick --profile --manifest run.json
+
 tracedump:
 	dune exec bin/tracedump.exe -- --nodes 100 --out trace.jsonl
 
@@ -27,10 +42,13 @@ clean:
 	dune clean
 
 help:
-	@echo "make build       build everything (dune build @all)"
-	@echo "make test        run the full test suite"
-	@echo "make bench       run the Bechamel micro-benchmarks"
-	@echo "make bench-json  micro-benchmarks + BENCH_pr1.json baseline"
-	@echo "make tracedump   100-node traced churn run + trace summary"
-	@echo "make fmt         dune build @fmt (when .ocamlformat exists)"
-	@echo "make clean       dune clean"
+	@echo "make build          build everything (dune build @all)"
+	@echo "make test           run the full test suite"
+	@echo "make bench          run the Bechamel micro-benchmarks"
+	@echo "make bench-json     micro-benchmarks + BENCH.json report"
+	@echo "make bench-baseline regenerate the committed perf baseline"
+	@echo "make bench-check    micro-benchmarks gated against the baseline"
+	@echo "make profile        profiled fig6 quick run + run.json manifest"
+	@echo "make tracedump      100-node traced churn run + trace summary"
+	@echo "make fmt            dune build @fmt (when .ocamlformat exists)"
+	@echo "make clean          dune clean"

@@ -8,7 +8,12 @@
       (§5) at [Quick] scale, via the shared experiment runners. Pass
       an experiment name (fig3..fig8, topology, ablation, selftuning,
       suppression, structure, all) to run a subset, and --size to scale
-      up; `bench/main.exe micro` runs only the micro-benchmarks. *)
+      up; `bench/main.exe micro` runs only the micro-benchmarks.
+
+   With --json the micro run writes machine-readable results (ns/op per
+   kernel plus whole-stack reference timings) to BENCH.json — override
+   the path with `-o FILE`. `bin/statsdump --bench OLD NEW` diffs two
+   such files and fails on regressions (the CI gate). *)
 
 module E = Repro_experiments.Experiments
 open Bechamel
@@ -260,16 +265,31 @@ let () =
     in
     find args
   in
+  let out =
+    let rec find = function
+      | ("-o" | "--out") :: v :: _ -> v
+      | _ :: rest -> find rest
+      | [] -> "BENCH.json"
+    in
+    find args
+  in
   let names =
-    List.filter
-      (fun a -> (not (String.length a > 1 && a.[0] = '-')) && E.size_of_string a = None)
-      args
+    (* positional targets: drop flags and the values of valued flags *)
+    let rec strip = function
+      | ("--size" | "-o" | "--out") :: _ :: rest -> strip rest
+      | a :: rest ->
+          if (String.length a > 1 && a.[0] = '-') || E.size_of_string a <> None
+          then strip rest
+          else a :: strip rest
+      | [] -> []
+    in
+    strip args
   in
   let seed = 42 in
   let run_one = function
     | "micro" ->
         let micro = run_micro () in
-        if json then write_json "BENCH_pr5.json" micro
+        if json then write_json out micro
     | "fig3" -> E.fig3 ~size ~seed ()
     | "fig4" -> E.fig4 ~size ~seed ()
     | "fig5" -> E.fig5 ~size ~seed ()
@@ -289,6 +309,6 @@ let () =
   match names with
   | [] ->
       let micro = run_micro () in
-      if json then write_json "BENCH_pr5.json" micro;
+      if json then write_json out micro;
       E.all ~size ~seed ()
   | names -> List.iter run_one names

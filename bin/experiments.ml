@@ -50,10 +50,36 @@ let size =
 
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"master RNG seed")
 
-let run name size seed =
+let profile =
+  let doc =
+    "Enable the wall-clock profiler and print its phase breakdown after \
+     the experiment (see DESIGN.md \u{00A7}9)."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let manifest =
+  let doc =
+    "Write a run manifest (JSON) to $(docv) when each run closes. \
+     Experiments that execute several runs overwrite it, so the file \
+     holds the last run's manifest. Inspect with $(b,statsdump)."
+  in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"PATH" ~doc)
+
+let run name size seed profile manifest =
   match List.assoc_opt name runners with
   | Some f ->
+      E.set_manifest_out manifest;
+      if profile then begin
+        Repro_obs.Profile.reset ();
+        Repro_obs.Profile.set_enabled true
+      end;
       f ~size ~seed ();
+      if profile then begin
+        Repro_obs.Profile.set_enabled false;
+        Repro_obs.Profile.pp_report Format.std_formatter
+          (Repro_obs.Profile.report ());
+        Format.pp_print_flush Format.std_formatter ()
+      end;
       `Ok ()
   | None ->
       `Error
@@ -64,6 +90,6 @@ let run name size seed =
 let cmd =
   let doc = "Regenerate the MSPastry paper's tables and figures" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(ret (const run $ experiment $ size $ seed))
+  Cmd.v info Term.(ret (const run $ experiment $ size $ seed $ profile $ manifest))
 
 let () = exit (Cmd.eval cmd)

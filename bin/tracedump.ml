@@ -54,7 +54,8 @@ let print_path path =
         (if h.Obs.Hoppath.retx then "  (reroute)" else ""))
     path
 
-let run nodes hours seed out loss lookup_rate timers sample top faults =
+let run nodes hours seed out loss lookup_rate timers sample top faults capacity
+    queue_limit =
   (* -- scenario: Gnutella-calibrated churn scaled to ~[nodes] concurrent - *)
   let scale = float_of_int nodes /. 2000.0 in
   let duration = hours *. 3600.0 in
@@ -67,6 +68,10 @@ let run nodes hours seed out loss lookup_rate timers sample top faults =
       lookup_rate;
       tracing = Sim.Trace_jsonl out;
       trace_timers = timers;
+      capacity =
+        Option.map
+          (fun rate -> { Netsim.Net.service_rate = rate; queue_limit })
+          capacity;
     }
   in
   let config =
@@ -111,6 +116,8 @@ let run nodes hours seed out loss lookup_rate timers sample top faults =
   let n_suspected = ref 0 and n_unsuspected = ref 0 in
   let retry_attempts = Hashtbl.create 8 in
   let n_retries = ref 0 in
+  let n_queue = ref 0 and q_sum = ref 0.0 and q_max = ref 0.0 in
+  let occ_max = ref 0 in
   List.iter
     (fun ev ->
       incr_tbl by_kind (Obs.Event.kind_name ev) 1;
@@ -128,6 +135,11 @@ let run nodes hours seed out loss lookup_rate timers sample top faults =
       | Obs.Event.Lookup_retry { attempt; _ } ->
           incr n_retries;
           incr_tbl retry_attempts attempt 1
+      | Obs.Event.Queue { delay; occ; _ } ->
+          incr n_queue;
+          q_sum := !q_sum +. delay;
+          q_max := Float.max !q_max delay;
+          occ_max := max !occ_max occ
       | _ -> ())
     events;
 
@@ -192,6 +204,18 @@ let run nodes hours seed out loss lookup_rate timers sample top faults =
       Printf.printf "  sampled lookup %d (%d nodes):\n" seq (List.length path);
       print_path path
     end
+  end;
+
+  (* -- capacity queueing --------------------------------------------- *)
+  if Option.is_some capacity || !n_queue > 0 then begin
+    Printf.printf "\ncapacity queueing:\n";
+    if !n_queue = 0 then Printf.printf "  (no queue events traced)\n"
+    else
+      Printf.printf
+        "  %d enqueues, mean delay %.4fs (max %.4f), peak occupancy %d\n"
+        !n_queue
+        (!q_sum /. float_of_int !n_queue)
+        !q_max !occ_max
   end;
 
   (* -- failure detector & end-to-end retries ------------------------- *)
@@ -285,6 +309,18 @@ let faults =
              "inject a fail-slow node fault mid-run and enable end-to-end lookup \
               retries, so suspicion and retry events appear in the trace")
 
+let capacity =
+  Arg.(value & opt (some float) None
+       & info [ "capacity" ] ~docv:"RATE"
+           ~doc:
+             "enable the per-node capacity model at RATE msg/s, so queue and \
+              congestion-drop events appear in the trace")
+
+let queue_limit =
+  Arg.(value & opt int 16
+       & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"inbound queue depth for --capacity (messages)")
+
 let cmd =
   let info =
     Cmd.info "tracedump"
@@ -294,6 +330,6 @@ let cmd =
     Term.(
       ret
         (const run $ nodes $ hours $ seed $ out $ loss $ lookup_rate $ timers $ sample
-       $ top $ faults))
+       $ top $ faults $ capacity $ queue_limit))
 
 let () = exit (Cmd.eval cmd)

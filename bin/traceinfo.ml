@@ -56,6 +56,8 @@ let describe_events path =
       let t_min = ref infinity and t_max = ref neg_infinity in
       let suspected = ref 0 and unsuspected = ref 0 and retries = ref 0 in
       let max_backoff = ref 0.0 and max_attempt = ref 0 in
+      let n_queue = ref 0 and q_sum = ref 0.0 and q_max = ref 0.0 in
+      let occ_max = ref 0 and congestion_drops = ref 0 in
       (try
          while true do
            let line = input_line ic in
@@ -75,6 +77,13 @@ let describe_events path =
                  | Obs.Event.Lookup_retry { attempt; _ } ->
                      incr retries;
                      max_attempt := max !max_attempt attempt
+                 | Obs.Event.Queue { delay; occ; _ } ->
+                     incr n_queue;
+                     q_sum := !q_sum +. delay;
+                     q_max := Float.max !q_max delay;
+                     occ_max := max !occ_max occ
+                 | Obs.Event.Drop { reason = Obs.Event.Congested; _ } ->
+                     incr congestion_drops
                  | _ -> ())
          done
        with End_of_file -> ());
@@ -92,6 +101,13 @@ let describe_events path =
           !suspected !unsuspected !max_backoff;
         Printf.printf "  e2e retries     %d (deepest attempt %d)\n" !retries !max_attempt
       end;
+      if !n_queue > 0 || !congestion_drops > 0 then
+        Printf.printf
+          "  queueing        %d enqueues, mean delay %.4fs (max %.4f), peak \
+           occupancy %d, %d congestion drops\n"
+          !n_queue
+          (if !n_queue = 0 then 0.0 else !q_sum /. float_of_int !n_queue)
+          !q_max !occ_max !congestion_drops;
       `Ok ()
 
 let run name scale hours seed events =

@@ -5,6 +5,7 @@ module Trace = Churn.Trace
 module Rng = Repro_util.Rng
 module Netfault = Repro_faults.Netfault
 module Schedule = Repro_faults.Schedule
+module Profile = Repro_obs.Profile
 
 type size = Quick | Medium | Full
 
@@ -38,12 +39,19 @@ let gnutella_trace size ~seed =
     ~duration:(gnutella_duration size)
     (Rng.create (seed + 1000))
 
+(* Where runs write their manifest (see Manifest, DESIGN.md §9); [None]
+   disables the write. Experiments that run several configurations reuse
+   the path, so the file holds the last run's manifest. *)
+let manifest_out : string option ref = ref None
+let set_manifest_out p = manifest_out := p
+
 let base_config size ~seed =
   {
     Sim.default_config with
     seed;
     warmup = warmup_for size;
     window = window_for size;
+    manifest_out = !manifest_out;
   }
 
 let header title =
@@ -94,8 +102,12 @@ let fig3 ?(size = Quick) ~seed () =
 
 (* ------------------------------------------------------------------ *)
 
+let ph_workload = Profile.phase "harness.workload"
+
 let run_gnutella_with ?(cfg_adjust = fun c -> c) size ~seed =
+  if !Profile.on then Profile.enter ph_workload;
   let trace = gnutella_trace size ~seed in
+  if !Profile.on then Profile.leave ph_workload;
   let config = cfg_adjust (base_config size ~seed) in
   (trace, Sim.run config ~trace)
 
@@ -759,6 +771,7 @@ let congestion ?(size = Quick) ~seed () =
           (base_config size ~seed) with
           Sim.capacity = (match cap with Some _ -> Some congestion_capacity | None -> None);
           prioritize_control = prioritize;
+          exact_percentiles = true;
           pastry =
             {
               (base_config size ~seed).Sim.pastry with
@@ -837,6 +850,7 @@ let flash_crowd ?(size = Quick) ~seed () =
             window = 300.0;
             capacity = Some cap;
             prioritize_control = prioritize;
+            exact_percentiles = true;
             pastry =
               {
                 (base_config size ~seed).Sim.pastry with
@@ -892,6 +906,8 @@ let congestion_smoke ?size:_ ~seed () =
         window = 300.0;
         capacity;
         prioritize_control = prioritize;
+        exact_percentiles = true;
+        manifest_out = !manifest_out;
         pastry =
           { Sim.default_config.Sim.pastry with Mspastry.Config.backpressure };
         fault_schedule =
@@ -941,6 +957,7 @@ let smoke ?size:_ ~seed () =
       seed;
       warmup;
       window = 300.0;
+      manifest_out = !manifest_out;
       pastry =
         { Sim.default_config.Sim.pastry with Mspastry.Config.e2e_lookup_retries = 2 };
       fault_schedule =

@@ -20,6 +20,12 @@ val gnutella_trace : size -> seed:int -> Churn.Trace.t
 
 val base_config : size -> seed:int -> Harness.Sim.config
 
+val set_manifest_out : string option -> unit
+(** Direct subsequent runs to write their manifest (DESIGN.md §9) to
+    this path on close. Experiments that run several configurations
+    reuse the path — the file ends up holding the last run's manifest.
+    Default [None] (no manifest). *)
+
 val fig3 : ?size:size -> seed:int -> unit -> unit
 (** Node failure rates over time for the three traces. *)
 

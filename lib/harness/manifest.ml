@@ -1,0 +1,31 @@
+module Json = Repro_obs.Json
+
+let schema = "mspastry-run-manifest/1"
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let build ~label ~seed ~config ~counters ~histograms ~profile ~engine =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("label", Json.String label);
+      ("git", Json.String (git_describe ()));
+      ("seed", Json.Int seed);
+      ("config", config);
+      ("counters", counters);
+      ("histograms", Json.Obj histograms);
+      ("profile", profile);
+      ("engine", engine);
+    ]
+
+let write ~path j =
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc

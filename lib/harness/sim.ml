@@ -44,6 +44,8 @@ type config = {
   fault_schedule : Schedule.t;
   capacity : Netsim.Net.capacity option;
   prioritize_control : bool;
+  exact_percentiles : bool;
+  manifest_out : string option;
 }
 
 let default_config =
@@ -63,6 +65,8 @@ let default_config =
     fault_schedule = Schedule.empty;
     capacity = None;
     prioritize_control = true;
+    exact_percentiles = false;
+    manifest_out = None;
   }
 
 type result = {
@@ -201,7 +205,9 @@ module Live = struct
         ~trace:(if config.trace_timers then trace else Obs.Trace.disabled)
         ()
     in
-    let collector = Collector.create ~window:config.window () in
+    let collector =
+      Collector.create ~window:config.window ~exact:config.exact_percentiles ()
+    in
     let endpoint_of addr = addr mod n_endpoints in
     let net =
       Netsim.Net.create ~loss_rate:config.loss_rate ~endpoint_of
@@ -595,7 +601,87 @@ module Live = struct
                   Option.map id_of (Pastry.Leafset.right_neighbor ls) ))
 
   let run_until t time = Simkit.Engine.run t.engine ~until:time
-  let close t = Obs.Trace.close t.trace
+
+  (* ---- run manifest ---- *)
+
+  let config_json (c : config) =
+    let p = c.pastry in
+    Obs.Json.Obj
+      [
+        ("topology", Obs.Json.String (topology_name c.topology));
+        ("loss_rate", Obs.Json.Float c.loss_rate);
+        ("lookup_rate", Obs.Json.Float c.lookup_rate);
+        ("graceful_leave_fraction", Obs.Json.Float c.graceful_leave_fraction);
+        ("warmup", Obs.Json.Float c.warmup);
+        ("window", Obs.Json.Float c.window);
+        ("max_endpoints", Obs.Json.Int c.max_endpoints);
+        ("drain", Obs.Json.Float c.drain);
+        ( "capacity",
+          match c.capacity with
+          | None -> Obs.Json.Null
+          | Some cap ->
+              Obs.Json.Obj
+                [
+                  ("service_rate", Obs.Json.Float cap.Netsim.Net.service_rate);
+                  ("queue_limit", Obs.Json.Int cap.Netsim.Net.queue_limit);
+                ] );
+        ("prioritize_control", Obs.Json.Bool c.prioritize_control);
+        ("exact_percentiles", Obs.Json.Bool c.exact_percentiles);
+        ( "pastry",
+          Obs.Json.Obj
+            [
+              ("b", Obs.Json.Int p.Mspastry.Config.b);
+              ("l", Obs.Json.Int p.Mspastry.Config.l);
+              ("t_ls", Obs.Json.Float p.Mspastry.Config.t_ls);
+              ("t_out", Obs.Json.Float p.Mspastry.Config.t_out);
+              ("probe_volley", Obs.Json.Int p.Mspastry.Config.probe_volley);
+              ("per_hop_acks", Obs.Json.Bool p.Mspastry.Config.per_hop_acks);
+              ("active_probing", Obs.Json.Bool p.Mspastry.Config.active_probing);
+              ("self_tuning", Obs.Json.Bool p.Mspastry.Config.self_tuning);
+              ("lr_target", Obs.Json.Float p.Mspastry.Config.lr_target);
+              ("root_retries", Obs.Json.Int p.Mspastry.Config.root_retries);
+              ( "e2e_lookup_retries",
+                Obs.Json.Int p.Mspastry.Config.e2e_lookup_retries );
+              ("backpressure", Obs.Json.Bool p.Mspastry.Config.backpressure);
+              ( "overload_threshold",
+                Obs.Json.Int p.Mspastry.Config.overload_threshold );
+            ] );
+      ]
+
+  let manifest ?(label = "run") t =
+    let es = Simkit.Engine.stats t.engine in
+    let engine =
+      Obs.Json.Obj
+        [
+          ("scheduled", Obs.Json.Int es.Simkit.Engine.scheduled);
+          ("fired", Obs.Json.Int es.Simkit.Engine.fired);
+          ("cancelled", Obs.Json.Int es.Simkit.Engine.cancelled);
+          ("pending", Obs.Json.Int es.Simkit.Engine.pending);
+          ("heap_hwm", Obs.Json.Int es.Simkit.Engine.heap_hwm);
+          ("live_hwm", Obs.Json.Int es.Simkit.Engine.live_hwm);
+          ("events_per_sim_s", Obs.Json.Float es.Simkit.Engine.events_per_sim_s);
+        ]
+    in
+    Manifest.build ~label ~seed:t.config.seed ~config:(config_json t.config)
+      ~counters:(Obs.Registry.to_json (registry t))
+      ~histograms:
+        [
+          ( "lookup_delay_s",
+            Obs.Hist.summary_json (Collector.lookup_delay_hist t.collector) );
+          ("lookup_hops", Obs.Hist.summary_json (Collector.hop_hist t.collector));
+          ( "queue_delay_s",
+            Obs.Hist.summary_json (Collector.queue_delay_hist t.collector) );
+        ]
+      ~profile:(Obs.Profile.report_to_json (Obs.Profile.report ()))
+      ~engine
+
+  let write_manifest ?label t ~path = Manifest.write ~path (manifest ?label t)
+
+  let close t =
+    (match t.config.manifest_out with
+    | Some path -> write_manifest t ~path
+    | None -> ());
+    Obs.Trace.close t.trace
 end
 
 let schedule_trace live trace =
@@ -625,13 +711,18 @@ let schedule_trace live trace =
                  | None -> ())))
     (Churn.Trace.events trace)
 
+let ph_setup = Obs.Profile.phase "harness.setup"
+let ph_summary = Obs.Profile.phase "metrics.summary"
+
 let live_of_trace config ~trace =
+  if !Obs.Profile.on then Obs.Profile.enter ph_setup;
   let n_endpoints =
     min config.max_endpoints (max 16 (Churn.Trace.max_concurrent trace * 2))
   in
   let live = Live.create config ~n_endpoints in
   live.Live.lookup_end <- Churn.Trace.duration trace;
   schedule_trace live trace;
+  if !Obs.Profile.on then Obs.Profile.leave ph_setup;
   live
 
 let run config ~trace =
@@ -639,9 +730,11 @@ let run config ~trace =
   let duration = Churn.Trace.duration trace in
   Live.run_until live (duration +. config.drain);
   Live.close live;
+  if !Obs.Profile.on then Obs.Profile.enter ph_summary;
   let summary =
     Collector.summary ~since:config.warmup ~until:duration live.Live.collector
   in
+  if !Obs.Profile.on then Obs.Profile.leave ph_summary;
   {
     collector = live.Live.collector;
     summary;

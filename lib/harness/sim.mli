@@ -54,6 +54,14 @@ type config = {
       (** serve control traffic ahead of lookup forwarding in the
           capacity model's queues (default [true]; irrelevant while
           [capacity] is [None]) *)
+  exact_percentiles : bool;
+      (** retain every queueing-delay sample in the collector for exact
+          windowed percentiles (O(samples) memory; see
+          {!Overlay_metrics.Collector.create}). Default [false]:
+          percentiles come from the bounded histograms only. *)
+  manifest_out : string option;
+      (** write a run manifest (see {!Manifest}, DESIGN.md §9) to this
+          path when the run is {!Live.close}d; default [None] *)
 }
 
 val default_config : config
@@ -158,8 +166,18 @@ module Live : sig
 
   val close : t -> unit
   (** Flush and close the trace sink (a JSONL file would otherwise lose
-      buffered events). {!run} calls this; drivers using [run_until]
-      directly should call it once they are done with the session. *)
+      buffered events), writing the run manifest first if
+      [config.manifest_out] is set. {!run} calls this; drivers using
+      [run_until] directly should call it once they are done with the
+      session. *)
+
+  val manifest : ?label:string -> t -> Repro_obs.Json.t
+  (** Assemble the run manifest now (schema in DESIGN.md §9): config +
+      seed + git describe, registry counters, histogram summaries, the
+      global profile breakdown and engine statistics. [label] (default
+      ["run"]) names the run for {!Manifest.build}. *)
+
+  val write_manifest : ?label:string -> t -> path:string -> unit
 
   val trace : t -> Repro_obs.Trace.t
   (** The structured event trace built from [config.tracing] (the

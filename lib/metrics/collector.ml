@@ -1,5 +1,6 @@
 module M = Mspastry.Message
 module Series = Repro_util.Series
+module Hist = Repro_obs.Hist
 
 type lookup_rec = {
   sent : float;
@@ -24,15 +25,22 @@ type t = {
   mutable faults : (float * string) list; (* episode starts, newest first *)
   mutable suspicions : (float * bool) list; (* (time, target was alive) *)
   mutable detections : (float * float) list; (* (time, crash->detect latency) *)
-  (* queueing-delay samples from the network's capacity model, as two
-     parallel growable arrays (one sample per accepted message — a list
-     of boxed pairs would be too heavy under a storm) *)
+  (* bounded-memory percentile state: one fixed-size log-bucketed
+     histogram per latency-like metric, fed on the hot path *)
+  delay_hist : Hist.t; (* lookup first-delivery delays, seconds *)
+  hops_hist : Hist.t; (* lookup first-delivery hop counts *)
+  q_hist : Hist.t; (* queueing delays, seconds *)
+  (* optional exact path for cross-validation and windowed queue-delay
+     slicing: queueing-delay samples as two parallel growable arrays
+     (one sample per accepted message — a list of boxed pairs would be
+     too heavy under a storm). Unbounded, so off by default. *)
+  exact : bool;
   mutable q_times : float array;
   mutable q_delays : float array;
   mutable q_n : int;
 }
 
-let create ?(window = 600.0) () =
+let create ?(window = 600.0) ?(exact = false) () =
   {
     window;
     sends = List.map (fun c -> (c, Series.create ~window)) M.all_classes;
@@ -46,6 +54,10 @@ let create ?(window = 600.0) () =
     faults = [];
     suspicions = [];
     detections = [];
+    delay_hist = Hist.create ();
+    hops_hist = Hist.create ~lo:0.5 ~hi:1024.0 ();
+    q_hist = Hist.create ();
+    exact;
     q_times = [||];
     q_delays = [||];
     q_n = 0;
@@ -98,6 +110,8 @@ let lookup_delivered t ~seq ~time ~correct ~direct_delay ~hops =
         let delay = time -. r.sent in
         r.first_delay <- delay;
         r.first_hops <- hops;
+        Hist.add t.delay_hist delay;
+        Hist.add t.hops_hist (float_of_int hops);
         let rdp = if direct_delay > 0.0 then delay /. direct_delay else 1.0 in
         r.first_rdp <- rdp;
         Series.add t.rdp_w ~time rdp
@@ -119,15 +133,18 @@ let crash_detected t ~time ~latency =
 
 let queue_delay t ~time delay =
   if time > t.last_event then t.last_event <- time;
-  if t.q_n = Array.length t.q_times then begin
-    let cap = max 1024 (2 * t.q_n) in
-    let grow a = Array.append a (Array.make (cap - Array.length a) 0.0) in
-    t.q_times <- grow t.q_times;
-    t.q_delays <- grow t.q_delays
-  end;
-  t.q_times.(t.q_n) <- time;
-  t.q_delays.(t.q_n) <- delay;
-  t.q_n <- t.q_n + 1
+  Hist.add t.q_hist delay;
+  if t.exact then begin
+    if t.q_n = Array.length t.q_times then begin
+      let cap = max 1024 (2 * t.q_n) in
+      let grow a = Array.append a (Array.make (cap - Array.length a) 0.0) in
+      t.q_times <- grow t.q_times;
+      t.q_delays <- grow t.q_delays
+    end;
+    t.q_times.(t.q_n) <- time;
+    t.q_delays.(t.q_n) <- delay;
+    t.q_n <- t.q_n + 1
+  end
 
 type summary = {
   lookups_sent : int;
@@ -297,7 +314,21 @@ let lookup_delays ?(since = 0.0) ?(until = infinity) t =
   Array.sort Float.compare a;
   a
 
+let exact_samples t = t.exact
+let lookup_delay_hist t = t.delay_hist
+let hop_hist t = t.hops_hist
+let queue_delay_hist t = t.q_hist
+
+let require_exact t what =
+  if not t.exact then
+    invalid_arg
+      (Printf.sprintf
+         "Collector.%s: exact sample retention is off (create ~exact:true); use \
+          the histogram accessors instead"
+         what)
+
 let queue_delays ?(since = 0.0) ?(until = infinity) t =
+  require_exact t "queue_delays";
   let acc = ref [] in
   for i = 0 to t.q_n - 1 do
     if t.q_times.(i) >= since && t.q_times.(i) <= until then
@@ -308,6 +339,7 @@ let queue_delays ?(since = 0.0) ?(until = infinity) t =
   a
 
 let queue_delay_series t =
+  require_exact t "queue_delay_series";
   let sums = Hashtbl.create 64 and counts = Hashtbl.create 64 in
   for i = 0 to t.q_n - 1 do
     let widx = int_of_float (t.q_times.(i) /. t.window) in

@@ -12,8 +12,15 @@
 
 type t
 
-val create : ?window:float -> unit -> t
-(** [window] defaults to 600 s (the paper's 10-minute averaging). *)
+val create : ?window:float -> ?exact:bool -> unit -> t
+(** [window] defaults to 600 s (the paper's 10-minute averaging).
+
+    [exact] (default [false]) additionally retains every queueing-delay
+    sample so {!queue_delays} / {!queue_delay_series} can slice them by
+    time — O(samples) memory, for cross-validating the histograms and
+    for the windowed congestion analyses. With [exact:false] the
+    percentile state is the fixed-size histograms only (O(1) memory per
+    metric regardless of run length). *)
 
 val record_send : t -> time:float -> Mspastry.Message.traffic_class -> unit
 
@@ -108,11 +115,29 @@ val lookup_delays : ?since:float -> ?until:float -> t -> float array
 
 val queue_delays : ?since:float -> ?until:float -> t -> float array
 (** Queueing-delay samples recorded in the interval, sorted ascending —
-    percentile analysis for the congestion experiments. *)
+    percentile analysis for the congestion experiments. Raises
+    [Invalid_argument] unless the collector was created with
+    [~exact:true]. *)
 
 val queue_delay_series : t -> (float * float) array
 (** Windowed mean queueing delay over time (only windows with at least
-    one sample appear). *)
+    one sample appear). Raises [Invalid_argument] unless the collector
+    was created with [~exact:true]. *)
+
+val exact_samples : t -> bool
+(** Whether this collector retains exact queueing-delay samples. *)
+
+val lookup_delay_hist : t -> Repro_obs.Hist.t
+(** Bounded-memory histogram of first-delivery lookup delays (seconds),
+    fed for every delivered lookup regardless of [exact]. Quantiles
+    carry the documented {!Repro_obs.Hist} relative-error bound. *)
+
+val hop_hist : t -> Repro_obs.Hist.t
+(** Histogram of first-delivery overlay hop counts. *)
+
+val queue_delay_hist : t -> Repro_obs.Hist.t
+(** Histogram of queueing-delay samples (empty with the capacity model
+    off). *)
 
 val offered_goodput_series : t -> (float * float * float) array
 (** Per window [(mid, offered, goodput)]: lookups {e sent} per second in

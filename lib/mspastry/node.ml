@@ -2,6 +2,28 @@ open Pastry
 module M = Message
 module Rng = Repro_util.Rng
 module Obs = Repro_obs
+module Profile = Repro_obs.Profile
+
+(* one profile phase per traffic class: where does protocol handler time
+   go — lookups, acks, or background maintenance? *)
+let ph_node_lookup = Profile.phase "node.lookup"
+let ph_node_lookup_ack = Profile.phase "node.lookup-acks"
+let ph_node_dprobe = Profile.phase "node.distance-probes"
+let ph_node_leafset = Profile.phase "node.leafset-hb/probes"
+let ph_node_rt_probe = Profile.phase "node.rt-probes"
+let ph_node_ack = Profile.phase "node.acks+retransmits"
+let ph_node_join = Profile.phase "node.join"
+let ph_node_maint = Profile.phase "node.rt-maintenance"
+
+let node_phase = function
+  | M.C_lookup -> ph_node_lookup
+  | M.C_lookup_ack -> ph_node_lookup_ack
+  | M.C_distance_probe -> ph_node_dprobe
+  | M.C_leafset -> ph_node_leafset
+  | M.C_rt_probe -> ph_node_rt_probe
+  | M.C_ack_retransmit -> ph_node_ack
+  | M.C_join -> ph_node_join
+  | M.C_maintenance -> ph_node_maint
 
 type forward_decision = Continue | Absorb
 
@@ -1388,5 +1410,14 @@ let leave t =
 
 let bootstrap = bootstrap
 let join = join
-let handle = handle
+
+let handle t ~src msg =
+  if !Profile.on then begin
+    let ph = node_phase (M.classify msg) in
+    Profile.enter ph;
+    handle t ~src msg;
+    Profile.leave ph
+  end
+  else handle t ~src msg
+
 let lookup = lookup

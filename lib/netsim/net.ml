@@ -1,7 +1,13 @@
 module Rng = Repro_util.Rng
 module Obs = Repro_obs
+module Profile = Repro_obs.Profile
 module Netfault = Repro_faults.Netfault
 module Nodefault = Repro_faults.Nodefault
+
+let ph_send = Profile.phase "netsim.send"
+let ph_deliver = Profile.phase "netsim.deliver"
+let ph_verdict = Profile.phase "netsim.fault_verdict"
+let ph_queue = Profile.phase "netsim.queue"
 
 type stats = {
   sent : int;
@@ -159,7 +165,8 @@ let count_class t cls =
   | Some r -> incr r
   | None -> Hashtbl.add t.by_class cls (ref 1)
 
-let send t ~src ~dst msg =
+let send_inner t ~src ~dst msg =
+  let prof = !Profile.on in
   t.n_sent <- t.n_sent + 1;
   let cls = t.classify msg in
   count_class t cls;
@@ -174,6 +181,7 @@ let send t ~src ~dst msg =
   List.iter (fun tap -> tap ~time:now ~src ~dst msg) t.taps;
   (* the installed fault model replaces the built-in uniform process;
      the model sees topology endpoints, not overlay addresses *)
+  if prof then Profile.enter ph_verdict;
   let verdict =
     match t.fault with
     | Some f ->
@@ -184,6 +192,7 @@ let send t ~src ~dst msg =
           Netfault.Lose
         else Netfault.Pass
   in
+  if prof then Profile.leave ph_verdict;
   let emit_drop ~time reason =
     if Obs.Trace.enabled t.trace then
       Obs.Trace.emit t.trace
@@ -211,10 +220,15 @@ let send t ~src ~dst msg =
         match t.node_fault with
         | None -> (Nodefault.Pass, Nodefault.Pass)
         | Some nf ->
-            ( Nodefault.decide nf ~time:now ~dir:Nodefault.Send ~addr:src,
-              match Nodefault.decide nf ~time:now ~dir:Nodefault.Recv ~addr:dst with
-              | Nodefault.Slow _ as s -> s
-              | _ -> Nodefault.Pass )
+            if prof then Profile.enter ph_verdict;
+            let v =
+              ( Nodefault.decide nf ~time:now ~dir:Nodefault.Send ~addr:src,
+                match Nodefault.decide nf ~time:now ~dir:Nodefault.Recv ~addr:dst with
+                | Nodefault.Slow _ as s -> s
+                | _ -> Nodefault.Pass )
+            in
+            if prof then Profile.leave ph_verdict;
+            v
       in
       match sender_verdict with
       | Nodefault.Mute ->
@@ -238,6 +252,7 @@ let send t ~src ~dst msg =
             match t.capacity with
             | None -> Some d
             | Some cap ->
+                if prof then Profile.enter ph_queue;
                 let st = cap_state t dst in
                 let service = 1.0 /. cap.service_rate in
                 let a = now +. d in
@@ -250,20 +265,32 @@ let send t ~src ~dst msg =
                 let occ =
                   int_of_float (((band_until -. a) *. cap.service_rate) +. 0.5)
                 in
-                if occ >= cap.queue_limit then None
-                else begin
-                  let completion = band_until +. service in
-                  if high then begin
-                    st.hi_until <- completion;
-                    st.all_until <- all +. service
+                let r =
+                  if occ >= cap.queue_limit then None
+                  else begin
+                    let completion = band_until +. service in
+                    if high then begin
+                      st.hi_until <- completion;
+                      st.all_until <- all +. service
+                    end
+                    else st.all_until <- completion;
+                    let qdelay = completion -. a in
+                    if traced then
+                      Obs.Trace.emit t.trace
+                        {
+                          Obs.Event.time = now;
+                          body =
+                            Obs.Event.Queue
+                              { addr = dst; cls; delay = qdelay; occ = occ + 1 };
+                        };
+                    List.iter
+                      (fun tap -> tap ~addr:dst ~cls ~delay:qdelay)
+                      t.queue_taps;
+                    Some (completion -. now)
                   end
-                  else st.all_until <- completion;
-                  let qdelay = completion -. a in
-                  List.iter
-                    (fun tap -> tap ~addr:dst ~cls ~delay:qdelay)
-                    t.queue_taps;
-                  Some (completion -. now)
-                end
+                in
+                if prof then Profile.leave ph_queue;
+                r
           in
           match d with
           | None ->
@@ -272,6 +299,8 @@ let send t ~src ~dst msg =
           | Some d ->
           ignore
             (Simkit.Engine.schedule t.engine ~delay:d (fun () ->
+                 let prof = !Profile.on in
+                 if prof then Profile.enter ph_deliver;
                  let recv_mute =
                    match t.node_fault with
                    | None -> false
@@ -284,26 +313,35 @@ let send t ~src ~dst msg =
                        | Nodefault.Mute -> true
                        | Nodefault.Pass | Nodefault.Slow _ -> false)
                  in
-                 if recv_mute then begin
-                   t.n_dropped_node <- t.n_dropped_node + 1;
-                   emit_drop ~time:(Simkit.Engine.now t.engine)
-                     Obs.Event.Node_fault
-                 end
-                 else
-                   match Hashtbl.find_opt t.handlers dst with
-                   | Some handler ->
-                       t.n_delivered <- t.n_delivered + 1;
-                       if Obs.Trace.enabled t.trace then
-                         Obs.Trace.emit t.trace
-                           {
-                             Obs.Event.time = Simkit.Engine.now t.engine;
-                             body = Obs.Event.Recv { src; dst; cls };
-                           };
-                       handler ~src msg
-                   | None ->
-                       t.n_dropped_dead <- t.n_dropped_dead + 1;
-                       emit_drop ~time:(Simkit.Engine.now t.engine)
-                         Obs.Event.Dead_destination))))
+                 (if recv_mute then begin
+                    t.n_dropped_node <- t.n_dropped_node + 1;
+                    emit_drop ~time:(Simkit.Engine.now t.engine)
+                      Obs.Event.Node_fault
+                  end
+                  else
+                    match Hashtbl.find_opt t.handlers dst with
+                    | Some handler ->
+                        t.n_delivered <- t.n_delivered + 1;
+                        if Obs.Trace.enabled t.trace then
+                          Obs.Trace.emit t.trace
+                            {
+                              Obs.Event.time = Simkit.Engine.now t.engine;
+                              body = Obs.Event.Recv { src; dst; cls };
+                            };
+                        handler ~src msg
+                    | None ->
+                        t.n_dropped_dead <- t.n_dropped_dead + 1;
+                        emit_drop ~time:(Simkit.Engine.now t.engine)
+                          Obs.Event.Dead_destination);
+                 if prof then Profile.leave ph_deliver))))
+
+let send t ~src ~dst msg =
+  if !Profile.on then begin
+    Profile.enter ph_send;
+    send_inner t ~src ~dst msg;
+    Profile.leave ph_send
+  end
+  else send_inner t ~src ~dst msg
 
 let n_sent t = t.n_sent
 let n_delivered t = t.n_delivered

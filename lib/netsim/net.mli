@@ -128,6 +128,8 @@ val set_capacity : 'm t -> capacity option -> unit
     low-priority traffic is pushed back) and overflow is charged to the
     low band first. The model is deterministic — installing it never
     draws from the RNG. [None] turns it off and clears all queue state.
+    Each accepted-and-queued message is traced as a [Queue] event
+    carrying its queueing delay and the post-enqueue occupancy.
 
     Raises [Invalid_argument] unless [service_rate > 0] and
     [queue_limit >= 1]. *)

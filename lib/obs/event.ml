@@ -23,6 +23,7 @@ type body =
   | Suspected of { addr : int; target : int; backoff : float }
   | Unsuspected of { addr : int; target : int }
   | Lookup_retry of { seq : int; addr : int; attempt : int }
+  | Queue of { addr : int; cls : string; delay : float; occ : int }
 
 type t = { time : float; body : body }
 
@@ -66,6 +67,7 @@ let kind_name t =
   | Suspected _ -> "suspected"
   | Unsuspected _ -> "unsuspected"
   | Lookup_retry _ -> "lookup-retry"
+  | Queue _ -> "queue"
 
 let seq_field = function None -> [] | Some s -> [ ("seq", Json.Int s) ]
 
@@ -118,6 +120,13 @@ let to_json t =
         [ ("addr", Json.Int addr); ("target", Json.Int target) ]
     | Lookup_retry { seq; addr; attempt } ->
         [ ("seq", Json.Int seq); ("addr", Json.Int addr); ("attempt", Json.Int attempt) ]
+    | Queue { addr; cls; delay; occ } ->
+        [
+          ("addr", Json.Int addr);
+          ("cls", Json.String cls);
+          ("delay", Json.Float delay);
+          ("occ", Json.Int occ);
+        ]
   in
   Json.Obj
     (("t", Json.Float t.time) :: ("ev", Json.String (kind_name t)) :: fields)
@@ -198,6 +207,12 @@ let of_json j =
         let* addr = int "addr" in
         let* attempt = int "attempt" in
         Ok (Lookup_retry { seq; addr; attempt })
+    | "queue" ->
+        let* addr = int "addr" in
+        let* cls = str "cls" in
+        let* delay = flt "delay" in
+        let* occ = int "occ" in
+        Ok (Queue { addr; cls; delay; occ })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
   match body with Ok body -> Ok { time; body } | Error _ as e -> e

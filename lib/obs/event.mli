@@ -61,6 +61,10 @@ type body =
   | Lookup_retry of { seq : int; addr : int; attempt : int }
       (** origin [addr] re-issued lookup [seq] end-to-end ([attempt] ≥ 1
           counts re-issues) after its e2e timeout expired undelivered *)
+  | Queue of { addr : int; cls : string; delay : float; occ : int }
+      (** a message to [addr] was queued for [delay] seconds behind the
+          per-node capacity model; [occ] is the queue occupancy after
+          enqueue (see {!Netsim.Net.set_capacity}) *)
 
 type t = { time : float; body : body }
 

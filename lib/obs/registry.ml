@@ -5,7 +5,7 @@ let create () = { items = [] }
 
 let register t name read =
   if List.mem_assoc name t.items then
-    t.items <- List.map (fun (n, r) -> if n = name then (n, read) else (n, r)) t.items
+    invalid_arg (Printf.sprintf "Registry.register: duplicate metric %S" name)
   else t.items <- (name, read) :: t.items
 
 let gauge_i t name read = register t name (fun () -> Int (read ()))

@@ -13,7 +13,8 @@ val create : unit -> t
 
 val gauge_i : t -> string -> (unit -> int) -> unit
 val gauge_f : t -> string -> (unit -> float) -> unit
-(** Re-registering a name replaces the previous closure in place. *)
+(** Re-registering a name raises [Invalid_argument]: silent shadowing
+    hid wiring bugs where two components fought over one metric. *)
 
 val dump : t -> (string * value) list
 (** Sample every metric, in registration order. *)

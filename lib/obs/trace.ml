@@ -4,9 +4,19 @@ let disabled = { enabled = false; sink = None; filter = (fun _ -> true) }
 let create ?(filter = fun _ -> true) sink = { enabled = true; sink = Some sink; filter }
 let enabled t = t.enabled
 
+let ph_trace = Profile.phase "obs.trace"
+
 let emit t ev =
   if t.enabled && t.filter ev then
-    match t.sink with Some s -> Sink.emit s ev | None -> ()
+    match t.sink with
+    | Some s ->
+        if !Profile.on then begin
+          Profile.enter ph_trace;
+          Sink.emit s ev;
+          Profile.leave ph_trace
+        end
+        else Sink.emit s ev
+    | None -> ()
 
 let events t =
   match t.sink with Some (Sink.Memory r) -> Sink.Ring.to_list r | Some _ | None -> []

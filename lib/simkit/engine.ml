@@ -4,8 +4,14 @@ type stats = {
   cancelled : int;
   pending : int;
   heap_hwm : int;
+  live_hwm : int;
   events_per_sim_s : float;
 }
+
+module Profile = Repro_obs.Profile
+
+let ph_heap = Profile.phase "engine.heap"
+let ph_dispatch = Profile.phase "engine.dispatch"
 
 type event = { time : float; fn : unit -> unit; mutable cancelled : bool }
 type event_id = event
@@ -18,6 +24,7 @@ type t = {
   mutable n_fired : int;
   mutable n_cancelled : int;
   mutable heap_hwm : int;
+  mutable live_hwm : int;
   mutable trace : Repro_obs.Trace.t;
 }
 
@@ -30,6 +37,7 @@ let create ?(trace = Repro_obs.Trace.disabled) () =
     n_fired = 0;
     n_cancelled = 0;
     heap_hwm = 0;
+    live_hwm = 0;
     trace;
   }
 
@@ -37,15 +45,25 @@ let set_trace t trace = t.trace <- trace
 
 let now t = t.clock
 
-let schedule_at t ~time fn =
+let schedule_at_inner t ~time fn =
   let time = if time < t.clock then t.clock else time in
   let e = { time; fn; cancelled = false } in
   Repro_util.Heap.push t.queue e;
   t.live <- t.live + 1;
+  if t.live > t.live_hwm then t.live_hwm <- t.live;
   t.n_scheduled <- t.n_scheduled + 1;
   let sz = Repro_util.Heap.size t.queue in
   if sz > t.heap_hwm then t.heap_hwm <- sz;
   e
+
+let schedule_at t ~time fn =
+  if !Profile.on then begin
+    Profile.enter ph_heap;
+    let e = schedule_at_inner t ~time fn in
+    Profile.leave ph_heap;
+    e
+  end
+  else schedule_at_inner t ~time fn
 
 let schedule t ~delay fn =
   let delay = if delay < 0.0 then 0.0 else delay in
@@ -70,14 +88,19 @@ let stats t =
     cancelled = t.n_cancelled;
     pending = t.live;
     heap_hwm = t.heap_hwm;
+    live_hwm = t.live_hwm;
     events_per_sim_s =
       (if t.clock > 0.0 then float_of_int t.n_fired /. t.clock else 0.0);
   }
 
 let step t =
+  let prof = !Profile.on in
+  if prof then Profile.enter ph_heap;
   let rec next () =
     match Repro_util.Heap.pop t.queue with
-    | None -> false
+    | None ->
+        if prof then Profile.leave ph_heap;
+        false
     | Some e when e.cancelled -> next ()
     | Some e ->
         (* mark spent so a later [cancel] of this id is a no-op rather
@@ -86,10 +109,16 @@ let step t =
         t.live <- t.live - 1;
         t.clock <- e.time;
         t.n_fired <- t.n_fired + 1;
+        if prof then Profile.leave ph_heap;
         if Repro_obs.Trace.enabled t.trace then
           Repro_obs.Trace.emit t.trace
             { Repro_obs.Event.time = e.time; body = Repro_obs.Event.Timer_fired };
-        e.fn ();
+        if prof then begin
+          Profile.enter ph_dispatch;
+          e.fn ();
+          Profile.leave ph_dispatch
+        end
+        else e.fn ();
         true
   in
   next ()

@@ -2,7 +2,12 @@
 
     A single-threaded virtual clock with a cancellable timer queue.
     Simultaneous events fire in scheduling order (FIFO), which keeps runs
-    deterministic for a fixed seed. *)
+    deterministic for a fixed seed.
+
+    When {!Repro_obs.Profile} is enabled, heap operations and callback
+    dispatch are attributed to the ["engine.heap"] / ["engine.dispatch"]
+    profile phases (nested component phases subtract themselves from
+    dispatch's self time). *)
 
 type t
 
@@ -17,6 +22,7 @@ type stats = {
   cancelled : int;
   pending : int;  (** scheduled, not yet fired or cancelled *)
   heap_hwm : int;  (** high-water mark of the timer-queue size *)
+  live_hwm : int;  (** high-water mark of simultaneously-pending events *)
   events_per_sim_s : float;  (** fired / current virtual time *)
 }
 

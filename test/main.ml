@@ -6,5 +6,5 @@ let () =
    @ Test_topology.suite @ Test_trace.suite @ Test_netsim.suite @ Test_faults.suite
    @ Test_nodefaults.suite
    @ Test_oracle.suite
-   @ Test_obs.suite @ Test_collector.suite @ Test_harness.suite @ Test_integration.suite @ Test_squirrel.suite
+   @ Test_obs.suite @ Test_hist.suite @ Test_collector.suite @ Test_harness.suite @ Test_integration.suite @ Test_squirrel.suite
    @ Test_scribe.suite @ Test_past.suite)

@@ -153,6 +153,51 @@ let test_fault_episode_unrepaired () =
         (ep.Collector.time_to_repair = None)
   | eps -> Alcotest.failf "expected one episode, got %d" (List.length eps)
 
+let test_hist_vs_exact_parity () =
+  (* Record a realistic spread of queueing delays and lookup stats, then
+     check the bounded histograms agree with exact percentiles over the
+     retained samples to within the documented relative-error bound. *)
+  let c = Collector.create ~window:10.0 ~exact:true () in
+  let rng = Repro_util.Rng.create 11 in
+  for i = 0 to 999 do
+    let d = 0.001 *. Float.exp (Repro_util.Rng.float rng 6.0) in
+    Collector.queue_delay c ~time:(float_of_int i *. 0.1) d;
+    Collector.lookup_sent c ~seq:i ~time:(float_of_int i *. 0.1);
+    Collector.lookup_delivered c ~seq:i
+      ~time:((float_of_int i *. 0.1) +. d)
+      ~correct:true ~direct_delay:(d /. 2.0)
+      ~hops:(1 + Repro_util.Rng.int rng 6)
+  done;
+  let exact = Collector.queue_delays c in
+  let h = Collector.queue_delay_hist c in
+  Alcotest.(check int) "hist sees every sample" (Array.length exact)
+    (Repro_obs.Hist.count h);
+  let alpha = Repro_obs.Hist.alpha h in
+  List.iter
+    (fun p ->
+      let e = Repro_util.Stats.percentile exact p in
+      let est = Repro_obs.Hist.percentile h p in
+      let err = Float.abs (est -. e) /. e in
+      if err > (2.0 *. alpha) +. 1e-9 then
+        Alcotest.failf "p%.0f: hist %.6g vs exact %.6g (err %.4f)" p est e err)
+    [ 50.0; 90.0; 99.0 ];
+  Alcotest.(check int) "lookup delays all recorded" 1000
+    (Repro_obs.Hist.count (Collector.lookup_delay_hist c));
+  Alcotest.(check int) "hops all recorded" 1000
+    (Repro_obs.Hist.count (Collector.hop_hist c))
+
+let test_exact_gating () =
+  let c = Collector.create ~window:10.0 () in
+  Collector.queue_delay c ~time:1.0 0.05;
+  Alcotest.(check bool) "exact off" false (Collector.exact_samples c);
+  Alcotest.(check int) "histogram still fed" 1
+    (Repro_obs.Hist.count (Collector.queue_delay_hist c));
+  Alcotest.check_raises "queue_delays raises"
+    (Invalid_argument
+       "Collector.queue_delays: exact sample retention is off (create \
+        ~exact:true); use the histogram accessors instead") (fun () ->
+      ignore (Collector.queue_delays c))
+
 let suite =
   [
     ( "collector",
@@ -169,5 +214,7 @@ let suite =
         Alcotest.test_case "fault episode repair" `Quick test_fault_episode_repair;
         Alcotest.test_case "fault episode unrepaired" `Quick
           test_fault_episode_unrepaired;
+        Alcotest.test_case "hist vs exact parity" `Quick test_hist_vs_exact_parity;
+        Alcotest.test_case "exact gating" `Quick test_exact_gating;
       ] );
   ]

@@ -90,6 +90,46 @@ let test_live_of_trace_runs () =
   Live.run_until live 900.0;
   Alcotest.(check bool) "population formed" true (Live.node_count live > 5)
 
+let test_manifest_roundtrip () =
+  let path = Filename.temp_file "manifest" ".json" in
+  let config = { (flat ()) with Sim.manifest_out = Some path; seed = 17 } in
+  let trace =
+    Churn.Trace.poisson (Rng.create 2) ~n_avg:10 ~session_mean:600.0 ~duration:300.0
+  in
+  let live = Sim.live_of_trace config ~trace in
+  Live.run_until live 300.0;
+  (* close writes the manifest because [manifest_out] is set *)
+  Live.close live;
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Repro_obs.Json.of_string s with
+  | Error e -> Alcotest.failf "manifest unparseable: %s" e
+  | Ok j ->
+      let module J = Repro_obs.Json in
+      let str k = Option.bind (J.member k j) J.to_str in
+      Alcotest.(check (option string)) "schema" (Some Harness.Manifest.schema)
+        (str "schema");
+      Alcotest.(check (option int)) "seed" (Some 17)
+        (Option.bind (J.member "seed" j) J.to_int);
+      List.iter
+        (fun section ->
+          if J.member section j = None then
+            Alcotest.failf "manifest missing section %S" section)
+        [ "git"; "config"; "counters"; "histograms"; "profile"; "engine" ];
+      (* spot-check one value per nested section *)
+      let deep path =
+        List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some j) path
+      in
+      Alcotest.(check bool) "engine fired counter present" true
+        (Option.bind (deep [ "engine"; "fired" ]) J.to_int <> None);
+      Alcotest.(check bool) "lookup hist summary present" true
+        (Option.bind (deep [ "histograms"; "lookup_hops"; "count" ]) J.to_int
+        <> None);
+      Alcotest.(check bool) "config topology recorded" true
+        (Option.bind (deep [ "config"; "topology" ]) J.to_str <> None)
+
 let suite =
   [
     ( "harness",
@@ -101,5 +141,6 @@ let suite =
         Alcotest.test_case "graceful crash_node" `Quick test_graceful_crash_node;
         Alcotest.test_case "spawn_at schedules" `Quick test_spawn_at_schedules;
         Alcotest.test_case "live_of_trace" `Quick test_live_of_trace_runs;
+        Alcotest.test_case "manifest round-trip" `Quick test_manifest_roundtrip;
       ] );
   ]

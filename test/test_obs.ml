@@ -83,6 +83,10 @@ let every_variant : Event.t list =
     { time = t; body = Event.Hop_ack { addr = 16; dst = 17; rtt = 0.042 } };
     { time = t; body = Event.Ack_timeout { addr = 18; dst = 19; waited = 1.5; reroutes = 2 } };
     { time = t; body = Event.Probe { addr = 20; target = 21; kind = "leafset" } };
+    { time = t; body = Event.Suspected { addr = 22; target = 23; backoff = 4.0 } };
+    { time = t; body = Event.Unsuspected { addr = 22; target = 23 } };
+    { time = t; body = Event.Lookup_retry { seq = 6; addr = 24; attempt = 1 } };
+    { time = t; body = Event.Queue { addr = 25; cls = "lookup"; delay = 0.012; occ = 3 } };
   ]
 
 let test_jsonl_roundtrip () =
@@ -241,9 +245,11 @@ let test_registry () =
   Alcotest.(check bool) "dump samples live, in order" true
     (Obs.Registry.dump r = [ ("x", Obs.Registry.Int 7); ("y", Obs.Registry.Float 2.5) ]);
   Alcotest.(check bool) "find" true (Obs.Registry.find r "x" = Some (Obs.Registry.Int 7));
-  Obs.Registry.gauge_i r "x" (fun () -> 0);
-  Alcotest.(check bool) "re-register replaces" true
-    (Obs.Registry.find r "x" = Some (Obs.Registry.Int 0))
+  Alcotest.check_raises "re-register raises"
+    (Invalid_argument "Registry.register: duplicate metric \"x\"") (fun () ->
+      Obs.Registry.gauge_i r "x" (fun () -> 0));
+  Alcotest.(check bool) "original closure untouched" true
+    (Obs.Registry.find r "x" = Some (Obs.Registry.Int 7))
 
 (* ------------------------------------- trace counts vs collector (E2E) *)
 
@@ -289,6 +295,87 @@ let test_trace_matches_collector () =
         (Netsim.Net.sent_in_class (Live.net live) name)
         (count_class name))
     M.all_classes
+
+(* ------------------------------------------------------------- profile *)
+
+let test_profile_disabled_noop () =
+  Obs.Profile.reset ();
+  let ph = Obs.Profile.phase "test.noop" in
+  Alcotest.(check bool) "off by default after reset" false (Obs.Profile.enabled ());
+  Obs.Profile.enter ph;
+  Obs.Profile.leave ph;
+  let r = Obs.Profile.report () in
+  Alcotest.(check int64) "no wall time" 0L r.Obs.Profile.wall_ns;
+  List.iter
+    (fun e -> Alcotest.(check int) "no calls recorded" 0 e.Obs.Profile.calls)
+    r.Obs.Profile.entries;
+  Obs.Profile.reset ()
+
+let spin () =
+  (* burn a little real time so self_ns is visibly positive *)
+  let x = ref 0 in
+  for i = 1 to 200_000 do
+    x := !x + i
+  done;
+  ignore !x
+
+let test_profile_accounting () =
+  Obs.Profile.reset ();
+  let pa = Obs.Profile.phase "test.outer" and pb = Obs.Profile.phase "test.inner" in
+  Alcotest.(check int) "phase ids idempotent" pa (Obs.Profile.phase "test.outer");
+  Obs.Profile.set_enabled true;
+  Obs.Profile.enter pa;
+  spin ();
+  Obs.Profile.enter pb;
+  spin ();
+  Obs.Profile.leave pb;
+  spin ();
+  Obs.Profile.leave pa;
+  Obs.Profile.set_enabled false;
+  let r = Obs.Profile.report () in
+  let entry name =
+    List.find (fun e -> e.Obs.Profile.name = name) r.Obs.Profile.entries
+  in
+  let a = entry "test.outer" and b = entry "test.inner" in
+  Alcotest.(check int) "outer calls" 1 a.Obs.Profile.calls;
+  Alcotest.(check int) "inner calls" 1 b.Obs.Profile.calls;
+  Alcotest.(check bool) "self positive" true (a.Obs.Profile.self_ns > 0L);
+  Alcotest.(check bool) "inclusive >= self" true
+    (a.Obs.Profile.total_ns >= a.Obs.Profile.self_ns);
+  Alcotest.(check bool) "outer inclusive covers inner" true
+    (a.Obs.Profile.total_ns >= b.Obs.Profile.total_ns);
+  (* self times plus the unattributed remainder partition the wall *)
+  let sum_self =
+    List.fold_left
+      (fun acc e -> Int64.add acc e.Obs.Profile.self_ns)
+      0L r.Obs.Profile.entries
+  in
+  Alcotest.(check int64) "self + unattributed = wall" r.Obs.Profile.wall_ns
+    (Int64.add sum_self r.Obs.Profile.unattributed_ns);
+  Alcotest.(check bool) "wall covers outer" true
+    (r.Obs.Profile.wall_ns >= a.Obs.Profile.total_ns);
+  (* the json rendering carries every phase *)
+  (match Obs.Json.member "phases" (Obs.Profile.report_to_json r) with
+  | Some (Obs.Json.List phases) ->
+      Alcotest.(check bool) "json phases present" true (List.length phases >= 2)
+  | _ -> Alcotest.fail "report_to_json: no phases list");
+  Obs.Profile.reset ()
+
+let test_profile_reentrant () =
+  Obs.Profile.reset ();
+  let p = Obs.Profile.phase "test.recur" in
+  Obs.Profile.set_enabled true;
+  Obs.Profile.enter p;
+  Obs.Profile.enter p;
+  Obs.Profile.leave p;
+  Obs.Profile.leave p;
+  Obs.Profile.set_enabled false;
+  let r = Obs.Profile.report () in
+  let e = List.find (fun e -> e.Obs.Profile.name = "test.recur") r.Obs.Profile.entries in
+  Alcotest.(check int) "both entries counted" 2 e.Obs.Profile.calls;
+  Alcotest.(check bool) "inclusive not double-counted" true
+    (e.Obs.Profile.total_ns <= r.Obs.Profile.wall_ns);
+  Obs.Profile.reset ()
 
 let suite =
   [
